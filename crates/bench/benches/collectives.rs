@@ -1,0 +1,67 @@
+//! Criterion: flat vs tree control-plane collectives (§5.2) — the gather
+//! that carries local plans to the coordinator, at small in-process scale.
+
+use bcp_collectives::{Backend, CommWorld};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn run_gather(world_size: usize, backend: Backend) -> usize {
+    let world = CommWorld::new(world_size, backend);
+    let handles: Vec<_> = (0..world_size)
+        .map(|rank| {
+            let world = world.clone();
+            std::thread::spawn(move || {
+                let c = world.communicator(rank).unwrap();
+                // A plan-sized payload per rank.
+                let payload = vec![rank as u64; 512];
+                c.gather(0, payload).unwrap().map(|v| v.len()).unwrap_or(0)
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).sum()
+}
+
+fn bench_gather(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_gather");
+    g.sample_size(10);
+    for world in [16usize, 32] {
+        g.bench_function(format!("flat_{world}"), |b| {
+            b.iter(|| black_box(run_gather(world, Backend::Flat)))
+        });
+        g.bench_function(format!("tree_{world}"), |b| {
+            b.iter(|| {
+                black_box(run_gather(world, Backend::Tree { gpus_per_host: 8, branching: 4 }))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barrier_32");
+    g.sample_size(10);
+    for (name, backend) in [
+        ("flat", Backend::Flat),
+        ("tree", Backend::Tree { gpus_per_host: 8, branching: 4 }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let world = CommWorld::new(32, backend);
+                let handles: Vec<_> = (0..32)
+                    .map(|rank| {
+                        let world = world.clone();
+                        std::thread::spawn(move || {
+                            world.communicator(rank).unwrap().barrier().unwrap()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gather, bench_barrier);
+criterion_main!(benches);

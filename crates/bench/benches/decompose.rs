@@ -1,0 +1,68 @@
+//! Criterion: irregular-tensor decomposition (§3.2, Fig. 7) — the
+//! zero-communication alternative to DCP's all-gather. Decomposition must
+//! stay microseconds-per-shard for the "zero overhead" claim to hold.
+
+use bcp_core::decompose::{decompose_flat_range, shard_metas};
+use bcp_model::states::{build_train_state, Framework};
+use bcp_model::zoo;
+use bcp_topology::{Parallelism, ShardSpec};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_flat_range(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decompose_flat_range");
+    for (name, shape, start, len) in [
+        ("2d_mid", vec![4096usize, 4096], 1_000_000, 9_000_000),
+        ("3d_mid", vec![64, 512, 512], 1_234_567, 10_000_000),
+        ("4d_mid", vec![8, 64, 256, 256], 777_777, 20_000_000),
+        ("row_aligned", vec![4096, 4096], 4096 * 100, 4096 * 2000),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| decompose_flat_range(black_box(&shape), black_box(start), black_box(len)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_shard_metas(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shard_metas");
+    g.bench_function("grid_tp_shard", |b| {
+        let spec = ShardSpec::dim(0, 8, 3);
+        b.iter(|| shard_metas(black_box("layers.0.attn.qkv.weight"), &[24576, 8192], &spec))
+    });
+    g.bench_function("irregular_flatofbox", |b| {
+        let spec = ShardSpec::FlatOfBox {
+            box_offsets: vec![6144, 0],
+            box_lengths: vec![2048, 8192],
+            offset: 123_456,
+            length: 2_000_000,
+        };
+        b.iter(|| shard_metas(black_box("optim.master.qkv"), &[24576, 8192], &spec))
+    });
+    g.finish();
+}
+
+fn bench_whole_rank_planning_decomposition(c: &mut Criterion) {
+    // Decomposing every irregular shard a real FSDP rank holds — the cost
+    // ByteCheckpoint pays instead of the all-gather.
+    let par = Parallelism::data_parallel(8).unwrap();
+    let state = build_train_state(&zoo::tiny_gpt(), Framework::Fsdp { zero3: true }, par, 3, false);
+    c.bench_function("decompose_whole_fsdp_rank", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for dict in [&state.model, &state.optimizer] {
+                for e in dict.entries.values() {
+                    total += shard_metas(&e.fqn, &e.global_shape, &e.spec).len();
+                }
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_flat_range,
+    bench_shard_metas,
+    bench_whole_rank_planning_decomposition
+);
+criterion_main!(benches);

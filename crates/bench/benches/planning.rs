@@ -1,0 +1,88 @@
+//! Criterion: the planning path (§4.1) — local plan generation, Worst-Fit
+//! vs first-replica deduplication, redundant-read elimination, and the
+//! cache signature whose cheapness makes plan caching a win.
+
+use bcp_core::plan::{local_load_plan, local_save_plan, SavePlan};
+use bcp_core::metadata::GlobalMetadata;
+use bcp_core::planner::balance::{dedup_save_plans, eliminate_redundant_reads, DedupStrategy};
+use bcp_core::planner::cache::PlanCache;
+use bcp_model::states::{build_train_state, Framework};
+use bcp_model::zoo;
+use bcp_topology::Parallelism;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn megatron_plans(world_tp: usize, dp: usize, pp: usize) -> Vec<SavePlan> {
+    let par = Parallelism::new(world_tp, dp, pp).unwrap();
+    let fw = Framework::Megatron { distributed_optimizer: true };
+    (0..par.world_size())
+        .map(|r| local_save_plan(r, &build_train_state(&zoo::tiny_gpt_8l(), fw, par, r, false), "cpu"))
+        .collect()
+}
+
+fn bench_local_plan(c: &mut Criterion) {
+    let par = Parallelism::new(2, 4, 2).unwrap();
+    let fw = Framework::Megatron { distributed_optimizer: true };
+    let state = build_train_state(&zoo::tiny_gpt_8l(), fw, par, 5, false);
+    c.bench_function("local_save_plan_megatron_rank", |b| {
+        b.iter(|| local_save_plan(black_box(5), black_box(&state), "cpu"))
+    });
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    let plans = megatron_plans(2, 4, 2); // 16 ranks
+    let mut g = c.benchmark_group("dedup_save_plans_16_ranks");
+    g.bench_function("worst_fit", |b| {
+        b.iter_batched(
+            || plans.clone(),
+            |mut p| dedup_save_plans(&mut p, DedupStrategy::WorstFit),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("first_replica", |b| {
+        b.iter_batched(
+            || plans.clone(),
+            |mut p| dedup_save_plans(&mut p, DedupStrategy::FirstReplica),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_read_elimination(c: &mut Criterion) {
+    // Build a real checkpoint metadata + the DP-replicated load plans.
+    let par = Parallelism::new(1, 8, 1).unwrap();
+    let fw = Framework::Fsdp { zero3: false }; // ZeRO-2: model replicated
+    let mut plans: Vec<SavePlan> = (0..8)
+        .map(|r| local_save_plan(r, &build_train_state(&zoo::tiny_gpt(), fw, par, r, false), "cpu"))
+        .collect();
+    dedup_save_plans(&mut plans, DedupStrategy::WorstFit);
+    let mut meta = GlobalMetadata::new("fsdp", 0, &par.describe(), 8);
+    meta.tensor_map = bcp_core::plan::build_tensor_map(&plans);
+    let load_plans: Vec<_> = (0..8)
+        .map(|r| {
+            let state = build_train_state(&zoo::tiny_gpt(), fw, par, r, false);
+            local_load_plan(r, &state, &meta).expect("coverage")
+        })
+        .collect();
+    c.bench_function("eliminate_redundant_reads_8_replicas", |b| {
+        b.iter(|| eliminate_redundant_reads(black_box(&load_plans)))
+    });
+}
+
+fn bench_cache_signature(c: &mut Criterion) {
+    let par = Parallelism::new(2, 4, 2).unwrap();
+    let fw = Framework::Megatron { distributed_optimizer: true };
+    let state = build_train_state(&zoo::tiny_gpt_8l(), fw, par, 0, false);
+    c.bench_function("plan_cache_signature", |b| {
+        b.iter(|| PlanCache::signature("megatron", black_box("TP=2,DP=4,PP=2"), 0, &state))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_local_plan,
+    bench_dedup,
+    bench_read_elimination,
+    bench_cache_signature
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p bcp-bench --release --bin repro -- all
+//! cargo run -p bcp-bench --release --bin repro -- table4 fig13
+//! ```
+//!
+//! Tables come from the `bcp-sim` virtual-time pipeline over real planner
+//! outputs; figures come from real multi-rank execution (see
+//! `bcp-bench::figures`). EXPERIMENTS.md records paper-vs-produced values.
+
+use bcp_bench::figures;
+use bcp_sim::experiments;
+use bcp_sim::CostModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
+            "table9", "fig11", "fig12", "fig13", "fig14", "fig16", "fig17",
+        ]
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    let m = CostModel::default();
+    let mut fig11_12: Option<(String, String)> = None;
+    for id in wanted {
+        match id {
+            "table1" => print_table(experiments::table1(&m)),
+            "table2" => print_table(experiments::table2()),
+            "table3" => print_table(experiments::table3()),
+            "table4" => print_table(experiments::table4(&m)),
+            "table5" => print_table(experiments::table5(&m)),
+            "table6" => print_table(experiments::table6(&m)),
+            "table7" => print_table(experiments::table7(&m)),
+            "table8" => print_table(experiments::table8(&m)),
+            "table9" => print_table(experiments::table9(&m)),
+            "fig11" => {
+                let (f11, _) = fig11_12.get_or_insert_with(figures::fig11_fig12).clone();
+                print_section("Figure 11: end-to-end saving-time heat map (real 32-rank run)", &f11);
+            }
+            "fig12" => {
+                let (_, f12) = fig11_12.get_or_insert_with(figures::fig11_fig12).clone();
+                print_section("Figure 12: rank-0 saving-phase breakdown (real run)", &f12);
+            }
+            "fig13" => print_section("Figure 13: PP/TP resharding correctness", &figures::fig13()),
+            "fig14" => print_section("Figure 14: bitwise resumption across restarts", &figures::fig14()),
+            "fig16" => print_section("Figure 16: DP/hybrid resharding correctness", &figures::fig16()),
+            "fig17" => print_section("Figure 17: dataloader sampling trajectory", &figures::fig17()),
+            other => eprintln!("unknown artifact {other:?} (use table1..table9, fig11..fig17)"),
+        }
+    }
+}
+
+fn print_table(t: experiments::TableText) {
+    print_section(&t.title, &t.text);
+}
+
+fn print_section(title: &str, body: &str) {
+    println!("================================================================");
+    println!("{title}");
+    println!("================================================================");
+    println!("{body}");
+}

@@ -1,0 +1,13 @@
+//! # bcp-bench — benchmark harness and figure generators
+//!
+//! * [`figures`] — the evaluation figures that come from *real execution*
+//!   (not the simulator): the Fig. 11 heat map and Fig. 12 breakdown from an
+//!   instrumented 32-rank save, and the Figs. 13/14/16/17 correctness
+//!   curves from deterministic training with save/resume/reshard cycles.
+//! * [`harness`] — shared multi-rank job runner used by figures and the
+//!   criterion benches.
+//!
+//! The `repro` binary prints every table (from `bcp-sim`) and figure.
+
+pub mod figures;
+pub mod harness;

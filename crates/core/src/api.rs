@@ -1,0 +1,170 @@
+//! The user-facing API (§3.1, Fig. 5): `bytecheckpoint.save` /
+//! `bytecheckpoint.load` as a [`Checkpointer`] each training worker holds.
+//!
+//! ```text
+//! # the paper's Python                      # this crate
+//! bytecheckpoint.save(path, state, ...)  →  ckpt.save(&SaveRequest { .. })
+//! bytecheckpoint.load(path, state, ...)  →  ckpt.load(&mut LoadRequest { .. })
+//! ```
+//!
+//! "This high-level entrypoint abstracts underlying system complexities,
+//! such as sharding specification, save/reshard plan generation, and I/O
+//! operations."
+
+use crate::engine::pool::PinnedPool;
+use crate::integrity::FailureLog;
+use crate::loader_reshard::load_loader_states;
+use crate::planner::cache::PlanCache;
+use crate::registry::BackendRegistry;
+use crate::workflow::{
+    load_checkpoint, save_checkpoint, JobContext, LoadReport, SaveArgs, SaveTicket,
+    WorkflowOptions,
+};
+use crate::Result;
+use bcp_collectives::Communicator;
+use bcp_dataloader::{LoaderReplicatedState, LoaderShardState};
+use bcp_model::{ExtraState, Framework, TrainState};
+use bcp_monitor::MetricsSink;
+use bcp_storage::StorageUri;
+use bcp_topology::Parallelism;
+use std::sync::Arc;
+
+/// Construction-time options for a [`Checkpointer`].
+pub struct CheckpointerOptions {
+    /// Workflow and engine tuning (defaults = all optimizations on).
+    pub workflow: WorkflowOptions,
+    /// Metrics destination (defaults to disabled).
+    pub sink: MetricsSink,
+}
+
+impl Default for CheckpointerOptions {
+    fn default() -> CheckpointerOptions {
+        CheckpointerOptions { workflow: WorkflowOptions::default(), sink: MetricsSink::disabled() }
+    }
+}
+
+/// A save request: what to checkpoint and where.
+pub struct SaveRequest<'a> {
+    /// Checkpoint URI, e.g. `hdfs://cluster/ckpts/job1/step_500`.
+    pub path: &'a str,
+    /// GPU states (model + optimizer dicts).
+    pub state: &'a TrainState,
+    /// Dataloader states (only ranks holding dataloader state pass these).
+    pub loader: Option<(&'a LoaderReplicatedState, &'a LoaderShardState)>,
+    /// Extra CPU state.
+    pub extra: Option<&'a ExtraState>,
+    /// Global step.
+    pub step: u64,
+}
+
+/// A load request: the target states to fill. The state dict's sharding
+/// specs define the *target* parallelism; resharding happens automatically
+/// when it differs from the source.
+pub struct LoadRequest<'a> {
+    /// Checkpoint URI to load.
+    pub path: &'a str,
+    /// Target state; tensor values are replaced in place.
+    pub state: &'a mut TrainState,
+    /// Request dataloader states resharded to this (dp_size,
+    /// workers_per_rank, my_dp_rank), when the caller drives a dataloader.
+    pub loader_target: Option<(usize, usize, usize)>,
+}
+
+/// What a load returns.
+pub struct LoadOutcome {
+    /// Workflow-level report (engine stats, metadata, extra state).
+    pub report: LoadReport,
+    /// Resharded dataloader states, when requested and present.
+    pub loader: Option<(LoaderReplicatedState, LoaderShardState)>,
+}
+
+/// Per-worker checkpointing handle: the Rust shape of the paper's
+/// `bytecheckpoint` module entry points.
+pub struct Checkpointer {
+    ctx: JobContext,
+    registry: Arc<BackendRegistry>,
+    options: WorkflowOptions,
+    sink: MetricsSink,
+    cache: Arc<PlanCache>,
+    pool: Arc<PinnedPool>,
+    failures: Arc<FailureLog>,
+}
+
+impl Checkpointer {
+    /// Build a checkpointer for this worker.
+    pub fn new(
+        comm: Communicator,
+        framework: Framework,
+        parallelism: Parallelism,
+        registry: Arc<BackendRegistry>,
+        options: CheckpointerOptions,
+    ) -> Checkpointer {
+        Checkpointer {
+            ctx: JobContext { comm, framework, parallelism },
+            registry,
+            options: options.workflow,
+            sink: options.sink,
+            cache: Arc::new(PlanCache::new()),
+            pool: PinnedPool::new(2),
+            failures: Arc::new(FailureLog::new()),
+        }
+    }
+
+    /// This worker's rank.
+    pub fn rank(&self) -> usize {
+        self.ctx.rank()
+    }
+
+    /// The failure log (Appendix B): inspect after saves/loads.
+    pub fn failures(&self) -> &FailureLog {
+        &self.failures
+    }
+
+    /// Plan-cache statistics `(hits, misses)`.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// `bytecheckpoint.save`: checkpoint the given states under `path`.
+    /// Returns a ticket whose `blocking` is the checkpoint stall; `wait()`
+    /// joins the asynchronous tail (upload, barrier, commit).
+    pub fn save(&self, req: &SaveRequest<'_>) -> Result<SaveTicket> {
+        let uri = StorageUri::parse(req.path)?;
+        let backend = self.registry.resolve(&uri)?;
+        save_checkpoint(
+            &self.ctx,
+            backend,
+            &uri.key,
+            SaveArgs { state: req.state, loader: req.loader, extra: req.extra, step: req.step },
+            &self.options,
+            &self.cache,
+            &self.pool,
+            &self.sink,
+            self.failures.clone(),
+        )
+    }
+
+    /// `bytecheckpoint.load`: fill the request's target states from `path`,
+    /// resharding automatically when the parallelism changed.
+    pub fn load(&self, req: &mut LoadRequest<'_>) -> Result<LoadOutcome> {
+        let uri = StorageUri::parse(req.path)?;
+        let backend = self.registry.resolve(&uri)?;
+        let report = load_checkpoint(
+            &self.ctx,
+            backend.clone(),
+            &uri.key,
+            req.state,
+            &self.options,
+            &self.sink,
+            self.failures.clone(),
+            0,
+        )?;
+        let loader = match req.loader_target {
+            Some((dp, workers, my_dp)) => {
+                load_loader_states(&backend, &uri.key, &report.metadata, dp, workers, my_dp)?
+            }
+            None => None,
+        };
+        Ok(LoadOutcome { report, loader })
+    }
+}

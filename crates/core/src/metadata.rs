@@ -1,0 +1,296 @@
+//! The decoupled checkpoint representation (§3.2, Fig. 6).
+//!
+//! "For model and optimizer state representation, we separate each tensor
+//! shard's metadata from its numerical values and consolidate all the
+//! metadata into one global file." A tensor shard's metadata has three
+//! parts: [`BasicMeta`] (runtime recovery info), [`ShardMeta`] (position in
+//! the global tensor), and [`ByteMeta`] (location in a storage file). The
+//! [`GlobalMetadata`] file carries the `TensorShardToBasicByteMap` and the
+//! `LoaderShardToByteMap`.
+
+use bcp_tensor::DType;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Position of a (regular) tensor shard in its global tensor: "an index
+/// tuple (fqn, nD_offsets, nD_lengths)". Irregular shards are decomposed
+/// into several of these (one [`TensorShardEntry`] each).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ShardMeta {
+    /// Fully qualified tensor name.
+    pub fqn: String,
+    /// Offsets of the shard along each global axis.
+    pub offsets: Vec<usize>,
+    /// Lengths of the shard along each global axis.
+    pub lengths: Vec<usize>,
+}
+
+impl ShardMeta {
+    /// Number of elements in this shard.
+    pub fn numel(&self) -> usize {
+        self.lengths.iter().product()
+    }
+
+    /// Intersection with another box of the same tensor, as global offsets
+    /// and lengths.
+    pub fn intersect(&self, other: &ShardMeta) -> Option<(Vec<usize>, Vec<usize>)> {
+        bcp_tensor::layout::intersect_boxes(
+            &self.offsets,
+            &self.lengths,
+            &other.offsets,
+            &other.lengths,
+        )
+    }
+}
+
+/// "Essential information of individual tensor shards such as stride and
+/// device, critical for recovering the runtime state."
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BasicMeta {
+    /// Element dtype.
+    pub dtype: DType,
+    /// Global tensor shape (the shard's parent).
+    pub global_shape: Vec<usize>,
+    /// Row-major strides of the global tensor, in elements.
+    pub stride: Vec<usize>,
+    /// Device string of the worker that saved the shard (e.g. `"cuda:3"`).
+    pub device: String,
+    /// Whether the tensor required gradients at save time.
+    pub requires_grad: bool,
+}
+
+impl BasicMeta {
+    /// Construct for a tensor with contiguous row-major layout.
+    pub fn contiguous(dtype: DType, global_shape: Vec<usize>, device: impl Into<String>) -> BasicMeta {
+        let stride = bcp_tensor::layout::contiguous_strides(&global_shape);
+        BasicMeta { dtype, global_shape, stride, device: device.into(), requires_grad: true }
+    }
+}
+
+/// "The byte start offset and length of each tensor shard within the
+/// storage file."
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ByteMeta {
+    /// Storage file (relative to the checkpoint prefix).
+    pub file: String,
+    /// Byte offset of the shard payload within the file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub length: u64,
+}
+
+/// One saved tensor shard: the triple the TensorShardToBasicByteMap stores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TensorShardEntry {
+    /// Position of the shard in the global tensor.
+    pub shard: ShardMeta,
+    /// Runtime recovery info.
+    pub basic: BasicMeta,
+    /// Storage location.
+    pub byte: ByteMeta,
+}
+
+/// Entry of the LoaderShardToByteMap: which file holds which dataloader
+/// shard's states.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoaderShardFileEntry {
+    /// DP rank whose reader states the file holds.
+    pub dp_rank: usize,
+    /// Read worker index within the rank.
+    pub worker: usize,
+    /// File path relative to the checkpoint prefix.
+    pub file: String,
+}
+
+/// Dataloader section of the global metadata: replicated states saved once
+/// (by global rank 0's loader), sharded states in individual files.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LoaderMap {
+    /// File holding the replicated dataloader state, if a dataloader was
+    /// checkpointed.
+    pub replicated_file: Option<String>,
+    /// Per-(dp, worker) sharded state files.
+    pub shards: Vec<LoaderShardFileEntry>,
+}
+
+/// The global metadata file (Fig. 6): one per checkpoint, consolidating all
+/// tensor metadata plus the dataloader and extra-state file indexes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GlobalMetadata {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Framework that produced the checkpoint (informational — loading is
+    /// framework-agnostic by design).
+    pub framework: String,
+    /// Global training step of the snapshot.
+    pub step: u64,
+    /// Source parallelism description (informational).
+    pub source_parallelism: String,
+    /// Number of ranks that participated in the save.
+    pub source_world_size: usize,
+    /// TensorShardToBasicByteMap: fqn → saved shard entries.
+    pub tensor_map: BTreeMap<String, Vec<TensorShardEntry>>,
+    /// LoaderShardToByteMap.
+    pub loader_map: LoaderMap,
+    /// Per-rank extra-state files (packed byte objects).
+    pub extra_files: BTreeMap<usize, String>,
+}
+
+/// One overlap-query hit: the saved entry and the intersection box
+/// `(offsets, lengths)` in global coordinates.
+pub type OverlapHit<'a> = (&'a TensorShardEntry, (Vec<usize>, Vec<usize>));
+
+/// Current metadata format version.
+pub const METADATA_VERSION: u32 = 1;
+
+/// File name of the global metadata within a checkpoint prefix.
+pub const METADATA_FILE: &str = "global_metadata.json";
+
+/// File name of the commit marker written after the integrity barrier.
+pub const COMPLETE_MARKER: &str = "COMPLETE";
+
+impl GlobalMetadata {
+    /// Empty metadata for a new checkpoint.
+    pub fn new(framework: &str, step: u64, parallelism: &str, world: usize) -> GlobalMetadata {
+        GlobalMetadata {
+            version: METADATA_VERSION,
+            framework: framework.to_string(),
+            step,
+            source_parallelism: parallelism.to_string(),
+            source_world_size: world,
+            tensor_map: BTreeMap::new(),
+            loader_map: LoaderMap::default(),
+            extra_files: BTreeMap::new(),
+        }
+    }
+
+    /// Serialize to the storage representation (JSON).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec_pretty(self).expect("metadata serializes")
+    }
+
+    /// Parse from storage bytes.
+    pub fn from_bytes(data: &[u8]) -> Result<GlobalMetadata, String> {
+        let meta: GlobalMetadata =
+            serde_json::from_slice(data).map_err(|e| format!("metadata parse error: {e}"))?;
+        if meta.version != METADATA_VERSION {
+            return Err(format!("unsupported metadata version {}", meta.version));
+        }
+        Ok(meta)
+    }
+
+    /// All saved shards of `fqn` that overlap the query box, with the
+    /// intersection of each (Fig. 8 step 2: "identifying matching segments
+    /// between the saved tensor shards and the sharding specification of new
+    /// shards").
+    pub fn overlapping_shards<'a>(
+        &'a self,
+        fqn: &str,
+        offsets: &[usize],
+        lengths: &[usize],
+    ) -> Vec<OverlapHit<'a>> {
+        let Some(entries) = self.tensor_map.get(fqn) else {
+            return Vec::new();
+        };
+        let query = ShardMeta { fqn: fqn.to_string(), offsets: offsets.to_vec(), lengths: lengths.to_vec() };
+        entries
+            .iter()
+            .filter_map(|e| e.shard.intersect(&query).map(|i| (e, i)))
+            .collect()
+    }
+
+    /// Total payload bytes across all tensor shards.
+    pub fn total_tensor_bytes(&self) -> u64 {
+        self.tensor_map.values().flatten().map(|e| e.byte.length).sum()
+    }
+
+    /// Sanity-check invariants: every entry's box fits its global shape and
+    /// byte length matches the element count. Returns the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        for (fqn, entries) in &self.tensor_map {
+            for e in entries {
+                if e.shard.fqn != *fqn {
+                    return Err(format!("{fqn}: entry carries mismatched fqn {}", e.shard.fqn));
+                }
+                if !bcp_tensor::layout::box_in_bounds(
+                    &e.basic.global_shape,
+                    &e.shard.offsets,
+                    &e.shard.lengths,
+                ) {
+                    return Err(format!("{fqn}: shard box out of bounds"));
+                }
+                let expect = (e.shard.numel() * e.basic.dtype.size()) as u64;
+                if e.byte.length != expect {
+                    return Err(format!(
+                        "{fqn}: byte length {} != expected {expect}",
+                        e.byte.length
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_meta() -> GlobalMetadata {
+        let mut m = GlobalMetadata::new("megatron", 100, "TP=2,DP=1,PP=1", 2);
+        for i in 0..2usize {
+            m.tensor_map.entry("w".into()).or_default().push(TensorShardEntry {
+                shard: ShardMeta { fqn: "w".into(), offsets: vec![2 * i, 0], lengths: vec![2, 4] },
+                basic: BasicMeta::contiguous(DType::F32, vec![4, 4], format!("cuda:{i}")),
+                byte: ByteMeta { file: format!("model_{i}.bin"), offset: 16, length: 32 },
+            });
+        }
+        m
+    }
+
+    #[test]
+    fn round_trip_through_bytes() {
+        let m = sample_meta();
+        let bytes = m.to_bytes();
+        let back = GlobalMetadata::from_bytes(&bytes).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let mut m = sample_meta();
+        m.version = 99;
+        let err = GlobalMetadata::from_bytes(&m.to_bytes()).unwrap_err();
+        assert!(err.contains("version"));
+        assert!(GlobalMetadata::from_bytes(b"not json").is_err());
+    }
+
+    #[test]
+    fn overlap_query_finds_matching_segments() {
+        let m = sample_meta();
+        // Query the middle two rows: overlaps both shards, one row each.
+        let hits = m.overlapping_shards("w", &[1, 0], &[2, 4]);
+        assert_eq!(hits.len(), 2);
+        let (_, (off0, len0)) = &hits[0];
+        assert_eq!((off0.as_slice(), len0.as_slice()), ([1, 0].as_slice(), [1, 4].as_slice()));
+        // Query outside any shard: nothing. Unknown fqn: nothing.
+        assert!(m.overlapping_shards("w", &[4, 0], &[0, 4]).is_empty());
+        assert!(m.overlapping_shards("nope", &[0, 0], &[1, 1]).is_empty());
+    }
+
+    #[test]
+    fn validation_catches_corruption() {
+        let mut m = sample_meta();
+        assert!(m.validate().is_ok());
+        m.tensor_map.get_mut("w").unwrap()[0].byte.length = 31;
+        assert!(m.validate().unwrap_err().contains("byte length"));
+        let mut m2 = sample_meta();
+        m2.tensor_map.get_mut("w").unwrap()[1].shard.offsets = vec![3, 0];
+        assert!(m2.validate().unwrap_err().contains("out of bounds"));
+    }
+
+    #[test]
+    fn total_bytes_sums_payloads() {
+        assert_eq!(sample_meta().total_tensor_bytes(), 64);
+    }
+}

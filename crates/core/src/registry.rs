@@ -1,0 +1,86 @@
+//! Backend registry: checkpoint URI → storage backend resolution.
+//!
+//! "The Engine analyzes the given checkpoint path to determine the
+//! appropriate storage backend, then interacts with the Storage I/O layer"
+//! (§3.1).
+
+use crate::{BcpError, Result};
+use bcp_storage::uri::Scheme;
+use bcp_storage::{DynBackend, StorageUri};
+use std::collections::HashMap;
+
+/// Maps URI schemes (and optionally authorities) to backend instances.
+#[derive(Default)]
+pub struct BackendRegistry {
+    by_scheme: HashMap<Scheme, DynBackend>,
+    by_authority: HashMap<(Scheme, String), DynBackend>,
+}
+
+impl BackendRegistry {
+    /// Empty registry.
+    pub fn new() -> BackendRegistry {
+        BackendRegistry::default()
+    }
+
+    /// Register the default backend for a scheme.
+    pub fn register(&mut self, scheme: Scheme, backend: DynBackend) -> &mut Self {
+        self.by_scheme.insert(scheme, backend);
+        self
+    }
+
+    /// Register a backend for a specific authority (e.g. one HDFS cluster).
+    pub fn register_authority(
+        &mut self,
+        scheme: Scheme,
+        authority: impl Into<String>,
+        backend: DynBackend,
+    ) -> &mut Self {
+        self.by_authority.insert((scheme, authority.into()), backend);
+        self
+    }
+
+    /// Resolve a parsed URI to its backend.
+    pub fn resolve(&self, uri: &StorageUri) -> Result<DynBackend> {
+        if let Some(b) = self.by_authority.get(&(uri.scheme, uri.authority.clone())) {
+            return Ok(b.clone());
+        }
+        self.by_scheme.get(&uri.scheme).cloned().ok_or_else(|| {
+            BcpError::Plan(format!("no backend registered for scheme {:?}", uri.scheme))
+        })
+    }
+
+    /// Convenience: a registry with in-memory backends for every scheme
+    /// (tests and examples that don't care about persistence).
+    pub fn all_memory() -> BackendRegistry {
+        let mut r = BackendRegistry::new();
+        let mem: DynBackend = std::sync::Arc::new(bcp_storage::MemoryBackend::new());
+        for scheme in [Scheme::Memory, Scheme::File, Scheme::Hdfs, Scheme::Nas] {
+            r.register(scheme, mem.clone());
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcp_storage::MemoryBackend;
+    use std::sync::Arc;
+
+    #[test]
+    fn resolves_scheme_and_authority() {
+        let mut reg = BackendRegistry::new();
+        let default_hdfs: DynBackend = Arc::new(MemoryBackend::new());
+        let cluster_b: DynBackend = Arc::new(MemoryBackend::new());
+        reg.register(Scheme::Hdfs, default_hdfs.clone());
+        reg.register_authority(Scheme::Hdfs, "cluster-b", cluster_b.clone());
+
+        let u1 = StorageUri::parse("hdfs://cluster-a/x").unwrap();
+        let u2 = StorageUri::parse("hdfs://cluster-b/x").unwrap();
+        assert!(Arc::ptr_eq(&reg.resolve(&u1).unwrap(), &default_hdfs));
+        assert!(Arc::ptr_eq(&reg.resolve(&u2).unwrap(), &cluster_b));
+
+        let u3 = StorageUri::parse("mem://m/x").unwrap();
+        assert!(matches!(reg.resolve(&u3), Err(BcpError::Plan(_))));
+    }
+}

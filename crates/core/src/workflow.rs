@@ -1,0 +1,469 @@
+//! The generic save/load (resharding) workflow (§3.3, Fig. 8).
+//!
+//! Save: local plans → gather at the coordinator → balanced dedup → global
+//! metadata construction → scatter final plans → engine pipeline → integrity
+//! barrier → coordinator commits (metadata + `COMPLETE` marker). The plan
+//! cache (§4.1) turns everything before the engine into a one-time cost.
+//!
+//! Load: read global metadata → local load plans (box matching against the
+//! TensorShardToBasicByteMap) → gather → redundant-read elimination →
+//! scatter → engine pipeline (reads + all-to-all forwarding) → barrier.
+
+use crate::engine::load::{execute_load, LoadConfig, LoadStats};
+use crate::engine::pool::PinnedPool;
+use crate::engine::save::{execute_save, SaveConfig, SaveStats};
+use crate::integrity::{commit_checkpoint, is_committed, with_retries, FailureLog};
+use crate::metadata::{
+    GlobalMetadata, LoaderMap, LoaderShardFileEntry, COMPLETE_MARKER, METADATA_FILE,
+};
+use crate::plan::{build_tensor_map, local_load_plan, LoadPlan, SavePlan};
+use crate::planner::balance::{
+    dedup_save_plans, eliminate_redundant_reads, AssignedLoadPlan, DedupStrategy,
+};
+use crate::planner::cache::{CachedSave, PlanCache};
+use crate::planner::planner_for;
+use crate::{BcpError, Result};
+use bcp_collectives::Communicator;
+use bcp_dataloader::{LoaderReplicatedState, LoaderShardState};
+use bcp_model::{ExtraState, Framework, TrainState};
+use bcp_monitor::MetricsSink;
+use bcp_storage::DynBackend;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-job context shared by save and load.
+pub struct JobContext {
+    /// World communicator for this training job.
+    pub comm: Communicator,
+    /// Framework whose planner interprets the state dicts.
+    pub framework: Framework,
+    /// Current parallelism.
+    pub parallelism: bcp_topology::Parallelism,
+}
+
+impl JobContext {
+    /// This worker's global rank.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// The coordinator rank (lowest member, conventionally 0).
+    pub fn coordinator(&self) -> usize {
+        self.comm.members()[0]
+    }
+}
+
+/// Workflow-level options.
+#[derive(Clone)]
+pub struct WorkflowOptions {
+    /// Save dedup strategy (§4.1). `WorstFit` is ByteCheckpoint.
+    pub dedup: DedupStrategy,
+    /// Engine save configuration.
+    pub save: SaveConfig,
+    /// Engine load configuration.
+    pub load: LoadConfig,
+    /// Use the plan & metadata cache (§4.1).
+    pub plan_cache: bool,
+    /// Eliminate redundant reads across DP replicas on load (§4.1).
+    pub dedup_reads: bool,
+}
+
+impl Default for WorkflowOptions {
+    fn default() -> WorkflowOptions {
+        WorkflowOptions {
+            dedup: DedupStrategy::WorstFit,
+            save: SaveConfig::default(),
+            load: LoadConfig::default(),
+            plan_cache: true,
+            dedup_reads: true,
+        }
+    }
+}
+
+/// What each rank contributes to the gathered save-planning round.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LocalSaveMsg {
+    plan: SavePlan,
+    loader_files: Vec<LoaderShardFileEntry>,
+    has_replicated_loader: bool,
+    extra_file: Option<String>,
+}
+
+/// Everything a save leaves behind for the caller.
+pub struct SaveTicket {
+    /// Training-blocking duration (capture + planning when uncached).
+    pub blocking: Duration,
+    finalize: Option<std::thread::JoinHandle<Result<SaveStats>>>,
+    sync_stats: Option<SaveStats>,
+}
+
+impl SaveTicket {
+    /// Wait for the asynchronous tail (upload + barrier + commit).
+    pub fn wait(self) -> Result<SaveStats> {
+        match self.finalize {
+            Some(h) => h.join().map_err(|_| BcpError::Corrupt("finalize thread panicked".into()))?,
+            None => Ok(self.sync_stats.expect("sync stats")),
+        }
+    }
+}
+
+/// Inputs to one checkpoint save.
+pub struct SaveArgs<'a> {
+    /// Training state (model + optimizer dicts).
+    pub state: &'a TrainState,
+    /// Dataloader states, when the caller owns a dataloader shard.
+    pub loader: Option<(&'a LoaderReplicatedState, &'a LoaderShardState)>,
+    /// Extra (CPU) state for this rank.
+    pub extra: Option<&'a ExtraState>,
+    /// Global step being checkpointed.
+    pub step: u64,
+}
+
+/// Execute the full save workflow on this rank.
+#[allow(clippy::too_many_arguments)]
+pub fn save_checkpoint(
+    ctx: &JobContext,
+    backend: DynBackend,
+    prefix: &str,
+    args: SaveArgs<'_>,
+    options: &WorkflowOptions,
+    cache: &PlanCache,
+    pool: &Arc<PinnedPool>,
+    sink: &MetricsSink,
+    log: Arc<FailureLog>,
+) -> Result<SaveTicket> {
+    let rank = ctx.rank();
+    let step = args.step;
+    let planner = planner_for(ctx.framework);
+    planner.validate(args.state, ctx.parallelism, rank)?;
+    let blocking_start = Instant::now();
+
+    // ---- Planning (Fig. 8 steps 2-4, save direction), cache-aware. ----
+    let sig = PlanCache::signature(
+        planner.name(),
+        &ctx.parallelism.describe(),
+        rank,
+        args.state,
+    );
+    let cached: Option<Arc<CachedSave>> = if options.plan_cache { cache.get(sig) } else { None };
+    // All ranks must agree on the cache path or the collectives deadlock.
+    let all_hit = ctx
+        .comm
+        .all_gather(cached.is_some() as u8)?
+        .into_iter()
+        .all(|h| h == 1);
+
+    let (final_plan, metadata): (SavePlan, Option<GlobalMetadata>) = if all_hit {
+        let c = cached.expect("all_hit implies local hit");
+        let mut meta = c.metadata.clone();
+        if let Some(m) = meta.as_mut() {
+            m.step = step; // the only step-dependent field
+        }
+        (c.plan.clone(), meta)
+    } else {
+        let _t = sink.timer("save/plan", rank, step);
+        let local = planner.local_save_plan(rank, args.state)?;
+        let msg = LocalSaveMsg {
+            plan: local,
+            loader_files: loader_file_entries(args.loader),
+            has_replicated_loader: rank == ctx.coordinator() && args.loader.is_some(),
+            extra_file: args.extra.map(|_| format!("extra_{rank}.bin")),
+        };
+        let gathered = ctx.comm.gather(ctx.coordinator(), msg)?;
+        let mine: (SavePlan, GlobalMetadata) = if let Some(msgs) = gathered {
+            // Coordinator: dedup + balance, build metadata, scatter plans.
+            let mut plans: Vec<SavePlan> = msgs.iter().map(|m| m.plan.clone()).collect();
+            dedup_save_plans(&mut plans, options.dedup);
+            let mut meta = GlobalMetadata::new(
+                planner.name(),
+                step,
+                &ctx.parallelism.describe(),
+                ctx.comm.size(),
+            );
+            meta.tensor_map = build_tensor_map(&plans);
+            let mut loader_map = LoaderMap::default();
+            for m in &msgs {
+                loader_map.shards.extend(m.loader_files.iter().cloned());
+                if m.has_replicated_loader {
+                    loader_map.replicated_file = Some("loader/replicated.json".to_string());
+                }
+            }
+            meta.loader_map = loader_map;
+            for (m, &member) in msgs.iter().zip(ctx.comm.members()) {
+                if let Some(f) = &m.extra_file {
+                    meta.extra_files.insert(member, f.clone());
+                }
+            }
+            // Ship the metadata to everyone alongside their plan so every
+            // rank can cache it (only the coordinator commits it).
+            let payload: Vec<(SavePlan, GlobalMetadata)> =
+                plans.into_iter().map(|p| (p, meta.clone())).collect();
+            ctx.comm.scatter(ctx.coordinator(), Some(payload))?
+        } else {
+            ctx.comm.scatter(ctx.coordinator(), None)?
+        };
+        debug_assert_eq!(mine.0.rank, rank, "scatter must deliver this rank's plan");
+        if options.plan_cache {
+            cache.insert(sig, CachedSave { plan: mine.0.clone(), metadata: Some(mine.1.clone()) });
+        }
+        (mine.0, Some(mine.1))
+    };
+
+    // ---- Engine pipeline (blocking part = capture). ----
+    let handle = execute_save(
+        &final_plan,
+        args.state,
+        backend.clone(),
+        prefix,
+        pool,
+        sink,
+        log.clone(),
+        &options.save,
+        step,
+    )?;
+    let blocking = blocking_start.elapsed();
+
+    // ---- Small-state uploads + integrity + commit, off the critical path. ----
+    let loader_payloads = build_loader_payloads(ctx, args.loader);
+    let extra_payload = args.extra.map(|e| (format!("extra_{rank}.bin"), Bytes::from(e.pack())));
+    let comm = ctx.comm.clone();
+    let coordinator = ctx.coordinator();
+    let prefix2 = prefix.to_string();
+    let sink2 = sink.clone();
+    let retries = options.save.retries;
+    let finalize = move || -> Result<SaveStats> {
+        // Upload dataloader shard files concurrently ("we implemented a
+        // process pool for concurrent uploads", §6.4) and the extra state.
+        {
+            let mut t = sink2.timer("save/loader", rank, step);
+            std::thread::scope(|s| -> Result<()> {
+                let mut handles = Vec::new();
+                for (file, data) in &loader_payloads {
+                    let backend = backend.clone();
+                    let log = log.clone();
+                    let path = format!("{prefix2}/{file}");
+                    let data = data.clone();
+                    handles.push(s.spawn(move || {
+                        with_retries(retries, &log, rank, "save/loader", Some(&path), || {
+                            backend.write(&path, data.clone())
+                        })
+                    }));
+                }
+                for h in handles {
+                    h.join().map_err(|_| BcpError::Corrupt("loader upload panicked".into()))??;
+                }
+                Ok(())
+            })?;
+            t.add_bytes(loader_payloads.iter().map(|(_, d)| d.len() as u64).sum());
+        }
+        if let Some((file, data)) = &extra_payload {
+            let _t = sink2.timer("save/extra", rank, step).bytes(data.len() as u64);
+            let path = format!("{prefix2}/{file}");
+            with_retries(retries, &log, rank, "save/extra", Some(&path), || {
+                backend.write(&path, data.clone())
+            })?;
+        }
+        let stats = handle.wait()?;
+        // Integrity barrier (tree-based when the backend is Tree), then the
+        // coordinator alone commits.
+        {
+            let _t = sink2.timer("sync/save_barrier", rank, step);
+            comm.barrier()?;
+        }
+        if rank == coordinator {
+            let meta = metadata.ok_or_else(|| {
+                BcpError::Plan("coordinator lost the metadata template".into())
+            })?;
+            let meta_path = format!("{prefix2}/{METADATA_FILE}");
+            let meta_bytes = Bytes::from(meta.to_bytes());
+            with_retries(retries, &log, rank, "save/metadata", Some(&meta_path), || {
+                backend.write(&meta_path, meta_bytes.clone())
+            })?;
+            with_retries(retries, &log, rank, "save/commit", Some(&prefix2), || {
+                match commit_checkpoint(&backend, &prefix2) {
+                    Ok(()) => Ok(()),
+                    Err(BcpError::Storage(e)) => Err(e),
+                    Err(_) => unreachable!("commit only produces storage errors"),
+                }
+            })?;
+        }
+        // Second barrier: the commit is visible to every rank once their
+        // ticket resolves, so a rank may immediately load what it saved.
+        comm.barrier()?;
+        Ok(stats)
+    };
+
+    if options.save.async_upload {
+        let join = std::thread::Builder::new()
+            .name(format!("bcp-finalize-{rank}"))
+            .spawn(finalize)
+            .map_err(|e| BcpError::Corrupt(format!("spawn failed: {e}")))?;
+        Ok(SaveTicket { blocking, finalize: Some(join), sync_stats: None })
+    } else {
+        let stats = finalize()?;
+        Ok(SaveTicket {
+            blocking: blocking_start.elapsed(),
+            finalize: None,
+            sync_stats: Some(stats),
+        })
+    }
+}
+
+fn loader_file_entries(
+    loader: Option<(&LoaderReplicatedState, &LoaderShardState)>,
+) -> Vec<LoaderShardFileEntry> {
+    let Some((_, shard)) = loader else { return Vec::new() };
+    shard
+        .readers
+        .iter()
+        .enumerate()
+        .map(|(w, _)| LoaderShardFileEntry {
+            dp_rank: shard.dp_rank,
+            worker: w,
+            file: format!("loader/dp{}_w{}.json", shard.dp_rank, w),
+        })
+        .collect()
+}
+
+fn build_loader_payloads(
+    ctx: &JobContext,
+    loader: Option<(&LoaderReplicatedState, &LoaderShardState)>,
+) -> Vec<(String, Bytes)> {
+    let Some((replicated, shard)) = loader else { return Vec::new() };
+    let mut out = Vec::new();
+    // Sharded states: one file per read worker (the 6-parts-per-loader
+    // layout of §6.4), each independently loadable during resharding.
+    for (w, reader) in shard.readers.iter().enumerate() {
+        let single = LoaderShardState {
+            dp_rank: shard.dp_rank,
+            readers: vec![reader.clone()],
+            next_worker: shard.next_worker,
+        };
+        out.push((
+            format!("loader/dp{}_w{w}.json", shard.dp_rank),
+            Bytes::from(single.pack()),
+        ));
+    }
+    // Replicated states: saved only by the coordinator's worker.
+    if ctx.rank() == ctx.coordinator() {
+        out.push(("loader/replicated.json".to_string(), Bytes::from(replicated.pack())));
+    }
+    out
+}
+
+/// Result of one checkpoint load on this rank.
+pub struct LoadReport {
+    /// Engine statistics.
+    pub stats: LoadStats,
+    /// The checkpoint's global metadata.
+    pub metadata: GlobalMetadata,
+    /// Extra state recovered for this rank (rank 0's when the world grew).
+    pub extra: Option<ExtraState>,
+}
+
+/// Execute the full load (resharding) workflow on this rank. The state dict
+/// passed in defines the *target* sharding; its tensor values are replaced.
+#[allow(clippy::too_many_arguments)]
+pub fn load_checkpoint(
+    ctx: &JobContext,
+    backend: DynBackend,
+    prefix: &str,
+    state: &mut TrainState,
+    options: &WorkflowOptions,
+    sink: &MetricsSink,
+    log: Arc<FailureLog>,
+    step_hint: u64,
+) -> Result<LoadReport> {
+    let rank = ctx.rank();
+    // Step 1: all ranks load the global metadata (committed checkpoints only).
+    if !is_committed(&backend, prefix)? {
+        return Err(BcpError::Corrupt(format!(
+            "checkpoint {prefix} has no {COMPLETE_MARKER} marker (torn or in-progress save)"
+        )));
+    }
+    let meta_path = format!("{prefix}/{METADATA_FILE}");
+    let meta_bytes = with_retries(
+        options.load.retries,
+        &log,
+        rank,
+        "load/metadata",
+        Some(&meta_path),
+        || backend.read(&meta_path),
+    )?;
+    let metadata = GlobalMetadata::from_bytes(&meta_bytes).map_err(BcpError::Corrupt)?;
+    metadata.validate().map_err(BcpError::Corrupt)?;
+
+    // Step 2: local load plan (box matching).
+    let local: LoadPlan = {
+        let _t = sink.timer("load/plan", rank, step_hint);
+        local_load_plan(rank, state, &metadata)?
+    };
+
+    // Steps 3-4: coordinator optimizes (redundant-read elimination) and
+    // scatters the final per-rank assignments.
+    let assigned: AssignedLoadPlan = if options.dedup_reads {
+        let gathered = ctx.comm.gather(ctx.coordinator(), local)?;
+        if let Some(plans) = gathered {
+            let assigned = eliminate_redundant_reads(&plans);
+            ctx.comm.scatter(ctx.coordinator(), Some(assigned))?
+        } else {
+            ctx.comm.scatter(ctx.coordinator(), None)?
+        }
+    } else {
+        AssignedLoadPlan {
+            rank,
+            send_to: vec![Vec::new(); local.items.len()],
+            reads: local.items,
+            recvs: Vec::new(),
+        }
+    };
+
+    // Step 5: engine pipeline.
+    let comm_opt = if options.dedup_reads { Some(&ctx.comm) } else { None };
+    let stats = execute_load(
+        &assigned,
+        state,
+        backend.clone(),
+        prefix,
+        comm_opt,
+        sink,
+        log.clone(),
+        &options.load,
+        step_hint,
+    )?;
+
+    // Extra state: this rank's file, else the coordinator's (world grew).
+    let extra = {
+        let file = metadata
+            .extra_files
+            .get(&rank)
+            .or_else(|| metadata.extra_files.get(&ctx.coordinator()))
+            .or_else(|| metadata.extra_files.values().next());
+        match file {
+            Some(f) => {
+                let path = format!("{prefix}/{f}");
+                let data = with_retries(
+                    options.load.retries,
+                    &log,
+                    rank,
+                    "load/extra",
+                    Some(&path),
+                    || backend.read(&path),
+                )?;
+                Some(ExtraState::unpack(&data).ok_or_else(|| {
+                    BcpError::Corrupt(format!("extra state file {f} is unreadable"))
+                })?)
+            }
+            None => None,
+        }
+    };
+
+    // Step 6: the optimized collective barrier guarantees atomicity.
+    {
+        let _t = sink.timer("sync/load_barrier", rank, step_hint);
+        ctx.comm.barrier()?;
+    }
+    Ok(LoadReport { stats, metadata, extra })
+}

@@ -1,0 +1,239 @@
+//! Dataloader state: the replicated / sharded split of §3.2, and the
+//! stripe-cursor machinery that makes resumption exact.
+
+use crate::source::{DataSource, Sample};
+use serde::{Deserialize, Serialize};
+
+/// Replicated dataloader state: "the number of data reading workers, paths
+/// to source datasets, and sampling ratios ... identical across all I/O
+/// workers in different ranks". Saved once, by rank 0.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoaderReplicatedState {
+    /// Read workers per rank.
+    pub workers_per_rank: usize,
+    /// Data-parallel degree of the job that saved this state.
+    pub dp_size: usize,
+    /// The data sources (paths + sampling ratios in the paper's terms).
+    pub sources: Vec<DataSource>,
+    /// Context window: token threshold that triggers batch assembly.
+    pub context_window: u32,
+}
+
+/// Progress cursor of one reader into one source.
+///
+/// The *consumed set* of a source at the last (re)stripe point is summarized
+/// as `frontier` (every index below it is consumed) plus `exceptions`
+/// (consumed indices at or above the frontier). The not-yet-consumed indices
+/// form an ascending enumeration `u_0 < u_1 < …`; this reader owns
+/// enumeration positions `stripe_id, stripe_id + stripe_count, …` and has
+/// drawn the first `pos` of them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceCursor {
+    /// All indices `< frontier` were consumed at stripe time.
+    pub frontier: u64,
+    /// Consumed indices `>= frontier` at stripe time, ascending, deduped.
+    pub exceptions: Vec<u64>,
+    /// This reader's stripe (its global reader id at stripe time).
+    pub stripe_id: u64,
+    /// Total stripes (global reader count at stripe time).
+    pub stripe_count: u64,
+    /// Stripe elements already drawn by this reader.
+    pub pos: u64,
+}
+
+impl SourceCursor {
+    /// Fresh cursor for a brand-new job.
+    pub fn fresh(stripe_id: u64, stripe_count: u64) -> SourceCursor {
+        SourceCursor { frontier: 0, exceptions: Vec::new(), stripe_id, stripe_count, pos: 0 }
+    }
+
+    /// The `k`-th element (0-based) of the ascending enumeration of
+    /// not-yet-consumed indices at stripe time.
+    pub fn unconsumed_nth(&self, k: u64) -> u64 {
+        // Candidate ignoring exceptions, then push past each exception ≤
+        // candidate. Exceptions are sorted, so one pass suffices.
+        let mut candidate = self.frontier + k;
+        for &e in &self.exceptions {
+            if e <= candidate {
+                candidate += 1;
+            } else {
+                break;
+            }
+        }
+        candidate
+    }
+
+    /// Source index this reader's `j`-th draw returns.
+    pub fn index_of_draw(&self, j: u64) -> u64 {
+        self.unconsumed_nth(j * self.stripe_count + self.stripe_id)
+    }
+
+    /// Draw the next index, advancing the cursor.
+    pub fn draw(&mut self) -> u64 {
+        let idx = self.index_of_draw(self.pos);
+        self.pos += 1;
+        idx
+    }
+
+    /// Every index this cursor has consumed since stripe time, ascending.
+    pub fn consumed_since_stripe(&self) -> Vec<u64> {
+        (0..self.pos).map(|j| self.index_of_draw(j)).collect()
+    }
+}
+
+/// One read worker's sharded state: its per-source cursors, its token
+/// buffer, and its deterministic source-mixing counter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReaderState {
+    /// Global reader id = `dp_rank * workers_per_rank + worker`.
+    pub reader_id: u64,
+    /// Per-source progress cursors (same order as the replicated sources).
+    pub cursors: Vec<SourceCursor>,
+    /// Cached samples not yet assembled into a batch.
+    pub buffer: Vec<Sample>,
+    /// Source-mixing draw counter (resets at reshard; ratios are
+    /// statistical, not positional).
+    pub mix_counter: u64,
+    /// Materialized token payloads of the buffered samples — production
+    /// token buffers store the actual tokens, which is what makes them
+    /// "as large as 20 GB in text-to-video LFM training" (§6.1). Optional:
+    /// samples are identity-addressed and recomputable, so resharding
+    /// clears this and the destination re-materializes on demand.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub token_bytes: Vec<u8>,
+}
+
+impl ReaderState {
+    /// Fresh reader for a brand-new job over `num_sources` sources.
+    pub fn fresh(reader_id: u64, total_readers: u64, num_sources: usize) -> ReaderState {
+        ReaderState {
+            reader_id,
+            cursors: (0..num_sources)
+                .map(|_| SourceCursor::fresh(reader_id, total_readers))
+                .collect(),
+            buffer: Vec::new(),
+            mix_counter: 0,
+            token_bytes: Vec::new(),
+        }
+    }
+
+    /// Materialize the buffered samples' token payloads (2 bytes per token,
+    /// deterministic). This is what checkpointing a production token buffer
+    /// actually uploads.
+    pub fn materialize_tokens(&mut self) {
+        let total: usize = self.buffer.iter().map(|s| s.tokens as usize).sum();
+        let mut bytes = Vec::with_capacity(total * 2);
+        for s in &self.buffer {
+            let seed = bcp_tensor::fill::splitmix64(s.index ^ (s.source as u64) << 32);
+            for t in 0..s.tokens as u64 {
+                let v = bcp_tensor::fill::splitmix64(seed ^ t) as u16;
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        self.token_bytes = bytes;
+    }
+
+    /// Total buffered tokens.
+    pub fn buffered_tokens(&self) -> u64 {
+        self.buffer.iter().map(|s| s.tokens as u64).sum()
+    }
+
+    /// Serialized size in bytes (drives checkpoint file sizes and the
+    /// state-collection cost model in §4.4).
+    pub fn state_bytes(&self) -> u64 {
+        serde_json::to_vec(self).map(|v| v.len() as u64).unwrap_or(0)
+    }
+}
+
+/// One DP rank's sharded dataloader state: its read workers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoaderShardState {
+    /// The DP rank that owned these readers.
+    pub dp_rank: usize,
+    /// Per-worker states.
+    pub readers: Vec<ReaderState>,
+    /// Round-robin batch-assembly cursor over the workers. Without it the
+    /// post-resume batch order would permute across workers — bitwise
+    /// resumption (Fig. 17) requires it.
+    #[serde(default)]
+    pub next_worker: usize,
+}
+
+impl LoaderShardState {
+    /// Pack to bytes for storage.
+    pub fn pack(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("plain struct serializes")
+    }
+
+    /// Unpack from stored bytes.
+    pub fn unpack(data: &[u8]) -> Option<LoaderShardState> {
+        serde_json::from_slice(data).ok()
+    }
+}
+
+impl LoaderReplicatedState {
+    /// Pack to bytes for storage.
+    pub fn pack(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("plain struct serializes")
+    }
+
+    /// Unpack from stored bytes.
+    pub fn unpack(data: &[u8]) -> Option<LoaderReplicatedState> {
+        serde_json::from_slice(data).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconsumed_enumeration_skips_exceptions() {
+        let c = SourceCursor {
+            frontier: 10,
+            exceptions: vec![11, 13],
+            stripe_id: 0,
+            stripe_count: 1,
+            pos: 0,
+        };
+        // Unconsumed: 10, 12, 14, 15, 16, ...
+        assert_eq!(c.unconsumed_nth(0), 10);
+        assert_eq!(c.unconsumed_nth(1), 12);
+        assert_eq!(c.unconsumed_nth(2), 14);
+        assert_eq!(c.unconsumed_nth(3), 15);
+    }
+
+    #[test]
+    fn stripes_partition_fresh_stream() {
+        // 3 readers over a fresh source: draws must interleave 0..n
+        // disjointly and completely.
+        let mut seen = Vec::new();
+        for sid in 0..3u64 {
+            let mut c = SourceCursor::fresh(sid, 3);
+            for _ in 0..5 {
+                seen.push(c.draw());
+            }
+        }
+        seen.sort();
+        assert_eq!(seen, (0..15).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn consumed_since_stripe_matches_draws() {
+        let mut c = SourceCursor::fresh(1, 2);
+        let drawn: Vec<u64> = (0..4).map(|_| c.draw()).collect();
+        assert_eq!(c.consumed_since_stripe(), drawn);
+        assert_eq!(drawn, vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn shard_state_pack_round_trip() {
+        let state = LoaderShardState {
+            dp_rank: 2,
+            readers: vec![ReaderState::fresh(4, 8, 2)],
+            next_worker: 0,
+        };
+        let packed = state.pack();
+        assert_eq!(LoaderShardState::unpack(&packed).unwrap(), state);
+    }
+}

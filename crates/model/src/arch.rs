@@ -1,0 +1,283 @@
+//! Transformer architectures as parameter inventories.
+//!
+//! The checkpoint system sees a model as a set of named tensors with global
+//! shapes and framework sharding behaviour. This module generates that set
+//! for the three architecture families the paper evaluates (GPT for text,
+//! DiT for video generation, ViT for image encoding), including the
+//! TP-sharding role of every operator (Appendix A: "GEMM operators in
+//! attention and MLP blocks are sharded along different dimensions, while
+//! other operators like LayerNorm are replicated").
+
+use bcp_tensor::DType;
+use serde::{Deserialize, Serialize};
+
+/// Architecture family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArchKind {
+    /// Decoder-only language model (tGPT workloads).
+    Gpt,
+    /// Diffusion transformer (vDiT video-generation workloads).
+    DiT,
+    /// Vision transformer encoder (image workloads).
+    ViT,
+}
+
+/// How tensor parallelism splits a parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TpRole {
+    /// Column-parallel GEMM: split along output dim (dim 0). QKV and MLP-up.
+    Column,
+    /// Row-parallel GEMM: split along input dim (dim 1). Attention-out and
+    /// MLP-down.
+    Row,
+    /// Replicated across the TP group (LayerNorm, biases, embeddings of
+    /// small operators).
+    Replicated,
+    /// Vocabulary-parallel embedding: split along the vocab dim (dim 0).
+    Vocab,
+    /// Expert-parallel MoE weight: split along the experts dim (dim 0)
+    /// across the expert-parallel group (Appendix A's
+    /// `reshard_megatron_ckpt/reshard_moe` scenario).
+    Expert,
+}
+
+/// Which pipeline stage owns a parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StageHint {
+    /// Pre-transformer parameters (embeddings / patch projection): stage 0.
+    First,
+    /// Post-transformer parameters (final norm, output head): last stage.
+    Last,
+    /// Parameter of transformer layer `i`; stage owning that layer.
+    Layer(usize),
+}
+
+/// One parameter: its identity, geometry and parallel behaviour.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamDef {
+    /// Fully qualified name, e.g. `layers.7.attn.qkv.weight`.
+    pub fqn: String,
+    /// Global (unsharded) shape.
+    pub shape: Vec<usize>,
+    /// Storage dtype of the model weight.
+    pub dtype: DType,
+    /// TP sharding role.
+    pub tp: TpRole,
+    /// Pipeline stage ownership.
+    pub stage: StageHint,
+}
+
+impl ParamDef {
+    /// Number of elements in the global tensor.
+    pub fn numel(&self) -> usize {
+        self.shape.iter().product()
+    }
+}
+
+/// A transformer model configuration (Table 3 style).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransformerConfig {
+    /// Model name used in FQN-independent contexts (reports, paths).
+    pub name: String,
+    /// Architecture family.
+    pub kind: ArchKind,
+    /// Hidden size.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Transformer layers.
+    pub layers: usize,
+    /// Vocabulary size (GPT) / patch-input dim (DiT, ViT).
+    pub vocab: usize,
+    /// MLP expansion factor (4 in the classic transformer).
+    pub ffn_mult: usize,
+    /// Weight dtype.
+    pub dtype: DType,
+    /// Experts per MoE layer; 0 = dense MLP. MoE layers replace the dense
+    /// MLP with a router (kept in fp32, the Appendix A `--gate_fp32` knob)
+    /// plus expert-parallel up/down projections.
+    pub num_experts: usize,
+}
+
+impl TransformerConfig {
+    /// Enumerate every parameter with its geometry and parallel behaviour.
+    pub fn params(&self) -> Vec<ParamDef> {
+        let h = self.hidden;
+        let ffn = self.ffn_mult * h;
+        let dt = self.dtype;
+        let mut out = Vec::new();
+        let p = |fqn: String, shape: Vec<usize>, tp: TpRole, stage: StageHint| ParamDef {
+            fqn,
+            shape,
+            dtype: dt,
+            tp,
+            stage,
+        };
+
+        // Input side.
+        match self.kind {
+            ArchKind::Gpt => {
+                out.push(p("embedding.word.weight".into(), vec![self.vocab, h], TpRole::Vocab, StageHint::First));
+            }
+            ArchKind::DiT => {
+                out.push(p("patch_embed.proj.weight".into(), vec![h, self.vocab], TpRole::Replicated, StageHint::First));
+                out.push(p("patch_embed.proj.bias".into(), vec![h], TpRole::Replicated, StageHint::First));
+                out.push(p("timestep_mlp.fc1.weight".into(), vec![ffn, h], TpRole::Column, StageHint::First));
+                out.push(p("timestep_mlp.fc2.weight".into(), vec![h, ffn], TpRole::Row, StageHint::First));
+            }
+            ArchKind::ViT => {
+                out.push(p("patch_embed.proj.weight".into(), vec![h, self.vocab], TpRole::Replicated, StageHint::First));
+                out.push(p("cls_token".into(), vec![1, h], TpRole::Replicated, StageHint::First));
+                out.push(p("pos_embed".into(), vec![257, h], TpRole::Replicated, StageHint::First));
+            }
+        }
+
+        // Transformer layers.
+        for l in 0..self.layers {
+            let s = StageHint::Layer(l);
+            let pre = format!("layers.{l}");
+            out.push(p(format!("{pre}.ln1.weight"), vec![h], TpRole::Replicated, s));
+            out.push(p(format!("{pre}.ln1.bias"), vec![h], TpRole::Replicated, s));
+            out.push(p(format!("{pre}.attn.qkv.weight"), vec![3 * h, h], TpRole::Column, s));
+            out.push(p(format!("{pre}.attn.qkv.bias"), vec![3 * h], TpRole::Column, s));
+            out.push(p(format!("{pre}.attn.out.weight"), vec![h, h], TpRole::Row, s));
+            out.push(p(format!("{pre}.attn.out.bias"), vec![h], TpRole::Replicated, s));
+            out.push(p(format!("{pre}.ln2.weight"), vec![h], TpRole::Replicated, s));
+            out.push(p(format!("{pre}.ln2.bias"), vec![h], TpRole::Replicated, s));
+            if self.num_experts > 0 {
+                // MoE block: fp32 router (replicated) + expert-parallel FFNs.
+                out.push(ParamDef {
+                    fqn: format!("{pre}.moe.router.weight"),
+                    shape: vec![self.num_experts, h],
+                    dtype: DType::F32,
+                    tp: TpRole::Replicated,
+                    stage: s,
+                });
+                out.push(p(format!("{pre}.moe.experts.up.weight"), vec![self.num_experts, ffn, h], TpRole::Expert, s));
+                out.push(p(format!("{pre}.moe.experts.down.weight"), vec![self.num_experts, h, ffn], TpRole::Expert, s));
+            } else {
+                out.push(p(format!("{pre}.mlp.up.weight"), vec![ffn, h], TpRole::Column, s));
+                out.push(p(format!("{pre}.mlp.up.bias"), vec![ffn], TpRole::Column, s));
+                out.push(p(format!("{pre}.mlp.down.weight"), vec![h, ffn], TpRole::Row, s));
+                out.push(p(format!("{pre}.mlp.down.bias"), vec![h], TpRole::Replicated, s));
+            }
+            if self.kind == ArchKind::DiT {
+                // adaLN modulation: DiT conditions each block on timestep.
+                out.push(p(format!("{pre}.adaln.weight"), vec![6 * h, h], TpRole::Column, s));
+                out.push(p(format!("{pre}.adaln.bias"), vec![6 * h], TpRole::Column, s));
+                // Video DiT blocks add temporal self-attention and
+                // text-conditioning cross-attention.
+                out.push(p(format!("{pre}.tattn.qkv.weight"), vec![3 * h, h], TpRole::Column, s));
+                out.push(p(format!("{pre}.tattn.out.weight"), vec![h, h], TpRole::Row, s));
+                out.push(p(format!("{pre}.xattn.q.weight"), vec![h, h], TpRole::Column, s));
+                out.push(p(format!("{pre}.xattn.kv.weight"), vec![2 * h, h], TpRole::Column, s));
+                out.push(p(format!("{pre}.xattn.out.weight"), vec![h, h], TpRole::Row, s));
+            }
+        }
+
+        // Output side.
+        out.push(p("final_ln.weight".into(), vec![h], TpRole::Replicated, StageHint::Last));
+        out.push(p("final_ln.bias".into(), vec![h], TpRole::Replicated, StageHint::Last));
+        match self.kind {
+            ArchKind::Gpt => {
+                out.push(p("lm_head.weight".into(), vec![self.vocab, h], TpRole::Vocab, StageHint::Last));
+            }
+            ArchKind::DiT => {
+                out.push(p("final_proj.weight".into(), vec![self.vocab, h], TpRole::Replicated, StageHint::Last));
+            }
+            ArchKind::ViT => {
+                out.push(p("head.weight".into(), vec![1000, h], TpRole::Replicated, StageHint::Last));
+            }
+        }
+        out
+    }
+
+    /// Total parameter count.
+    pub fn num_params(&self) -> u64 {
+        self.params().iter().map(|p| p.numel() as u64).sum()
+    }
+
+    /// Total model-weight bytes at the configured dtype.
+    pub fn weight_bytes(&self) -> u64 {
+        self.num_params() * self.dtype.size() as u64
+    }
+
+    /// Which PP stage owns each layer: layers split contiguously and evenly.
+    pub fn stage_of_layer(&self, layer: usize, pp: usize) -> usize {
+        // Invert even_split: find the stage whose range contains `layer`.
+        for stage in 0..pp {
+            let (off, len) = bcp_tensor::layout::even_split(self.layers, pp, stage);
+            if layer >= off && layer < off + len {
+                return stage;
+            }
+        }
+        pp - 1
+    }
+
+    /// Which PP stage owns a parameter.
+    pub fn stage_of(&self, param: &ParamDef, pp: usize) -> usize {
+        match param.stage {
+            StageHint::First => 0,
+            StageHint::Last => pp - 1,
+            StageHint::Layer(l) => self.stage_of_layer(l, pp),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn gpt_param_inventory_shapes() {
+        let cfg = zoo::tiny_gpt();
+        let params = cfg.params();
+        let qkv = params.iter().find(|p| p.fqn == "layers.0.attn.qkv.weight").unwrap();
+        assert_eq!(qkv.shape, vec![3 * cfg.hidden, cfg.hidden]);
+        assert_eq!(qkv.tp, TpRole::Column);
+        let out = params.iter().find(|p| p.fqn == "layers.0.attn.out.weight").unwrap();
+        assert_eq!(out.tp, TpRole::Row);
+        let ln = params.iter().find(|p| p.fqn == "layers.0.ln1.weight").unwrap();
+        assert_eq!(ln.tp, TpRole::Replicated);
+        // FQNs are unique.
+        let mut names: Vec<&String> = params.iter().map(|p| &p.fqn).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), params.len());
+    }
+
+    #[test]
+    fn paper_models_have_expected_scale() {
+        // tGPT 70B: "Hidden 8192, #Heads 64, #Layers 80" — the resulting
+        // parameter count must land in the tens of billions.
+        let cfg = zoo::tgpt_70b();
+        let n = cfg.num_params();
+        assert!(n > 60e9 as u64 && n < 80e9 as u64, "tGPT-70B has {n} params");
+        let cfg = zoo::vdit_4b();
+        let n = cfg.num_params();
+        assert!(n > 3e9 as u64 && n < 5e9 as u64, "vDiT-4B has {n} params");
+    }
+
+    #[test]
+    fn stage_assignment_covers_all_layers() {
+        let cfg = zoo::tiny_gpt(); // 4 layers
+        for pp in [1, 2, 4] {
+            for l in 0..cfg.layers {
+                let s = cfg.stage_of_layer(l, pp);
+                assert!(s < pp);
+            }
+            // First layer on stage 0, last layer on the last stage.
+            assert_eq!(cfg.stage_of_layer(0, pp), 0);
+            assert_eq!(cfg.stage_of_layer(cfg.layers - 1, pp), pp - 1);
+        }
+    }
+
+    #[test]
+    fn dit_has_adaln_and_vit_has_head() {
+        let dit = zoo::tiny_dit();
+        assert!(dit.params().iter().any(|p| p.fqn.contains("adaln")));
+        let vit = zoo::vit_7b();
+        assert!(vit.params().iter().any(|p| p.fqn == "head.weight"));
+    }
+}

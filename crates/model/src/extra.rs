@@ -1,0 +1,109 @@
+//! CPU-side "extra states": RNG, step counter, LR schedule.
+//!
+//! "For other extra states such as the RNG state, we pack and serialize them
+//! into one compact byte object before dumping them into storage" (§3.2).
+
+use serde::{Deserialize, Serialize};
+
+/// The non-tensor training state every worker carries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtraState {
+    /// Global training step.
+    pub step: u64,
+    /// RNG state: seed plus how many values have been drawn. Fixing this is
+    /// what makes data-sampling trajectories bitwise reproducible (Fig. 17).
+    pub rng_seed: u64,
+    /// Values drawn from the RNG so far.
+    pub rng_counter: u64,
+    /// Current learning rate from the scheduler.
+    pub lr: f32,
+    /// Warmup steps of the LR schedule.
+    pub warmup_steps: u64,
+    /// Total decay steps of the LR schedule.
+    pub total_steps: u64,
+}
+
+impl ExtraState {
+    /// A fresh state at step 0.
+    pub fn new(rng_seed: u64) -> ExtraState {
+        ExtraState {
+            step: 0,
+            rng_seed,
+            rng_counter: 0,
+            lr: 0.0,
+            warmup_steps: 100,
+            total_steps: 10_000,
+        }
+    }
+
+    /// LR under a linear-warmup + cosine-decay schedule at `step`.
+    pub fn scheduled_lr(&self, base_lr: f32, step: u64) -> f32 {
+        if step < self.warmup_steps {
+            return base_lr * (step as f32 + 1.0) / self.warmup_steps as f32;
+        }
+        let t = (step - self.warmup_steps) as f32
+            / (self.total_steps.saturating_sub(self.warmup_steps)).max(1) as f32;
+        let t = t.min(1.0);
+        base_lr * 0.5 * (1.0 + (std::f32::consts::PI * t).cos())
+    }
+
+    /// Advance to the next step, updating the scheduled LR.
+    pub fn advance(&mut self, base_lr: f32) {
+        self.step += 1;
+        self.lr = self.scheduled_lr(base_lr, self.step);
+    }
+
+    /// Draw the next RNG value (SplitMix64 counter mode), advancing the
+    /// counter. Checkpointing the counter resumes the stream exactly.
+    pub fn next_random(&mut self) -> u64 {
+        let v = bcp_tensor::fill::splitmix64(self.rng_seed ^ self.rng_counter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        self.rng_counter += 1;
+        v
+    }
+
+    /// Pack into one compact byte object (the paper's storage form).
+    pub fn pack(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("plain struct serializes")
+    }
+
+    /// Unpack from the byte object.
+    pub fn unpack(data: &[u8]) -> Option<ExtraState> {
+        serde_json::from_slice(data).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let mut s = ExtraState::new(42);
+        s.advance(1e-3);
+        s.next_random();
+        let packed = s.pack();
+        let back = ExtraState::unpack(&packed).unwrap();
+        assert_eq!(back, s);
+        assert!(ExtraState::unpack(b"garbage").is_none());
+    }
+
+    #[test]
+    fn rng_stream_resumes_from_counter() {
+        let mut a = ExtraState::new(7);
+        let first: Vec<u64> = (0..5).map(|_| a.next_random()).collect();
+        // Resume a copy from the checkpointed counter.
+        let mut b = ExtraState { rng_counter: 2, ..ExtraState::new(7) };
+        let resumed: Vec<u64> = (0..3).map(|_| b.next_random()).collect();
+        assert_eq!(&first[2..], &resumed[..]);
+    }
+
+    #[test]
+    fn lr_schedule_warms_up_then_decays() {
+        let s = ExtraState::new(0);
+        let base = 1e-3;
+        assert!(s.scheduled_lr(base, 0) < s.scheduled_lr(base, 99));
+        assert!((s.scheduled_lr(base, 99) - base).abs() < 2e-5);
+        assert!(s.scheduled_lr(base, 5000) < base);
+        assert!(s.scheduled_lr(base, 20_000) <= s.scheduled_lr(base, 9_000));
+    }
+}

@@ -1,0 +1,39 @@
+//! # bcp-model — training-framework substrate
+//!
+//! The paper checkpoints real training frameworks (Megatron-LM, FSDP, DDP,
+//! veScale). None exists in Rust, so — per the DESIGN.md substitution table
+//! — this crate reproduces exactly the part the checkpointing system
+//! touches: *which tensors exist, how each framework shards them, and how
+//! their values evolve over training steps*.
+//!
+//! * [`arch`] — transformer architectures (GPT / DiT / ViT shaped) as
+//!   parameter inventories: FQNs, global shapes, dtypes, TP-sharding roles,
+//!   and pipeline-stage hints.
+//! * [`zoo`] — the paper's evaluation models (vDiT 4B, tGPT 13B/30B/70B,
+//!   ViT 7B, Text 405B — Table 3 / Table 8) plus tiny test-scale variants.
+//! * [`states`] — builds each rank's sharded model/optimizer state dict for
+//!   a (framework, parallelism) pair, materialized or meta (shape-only).
+//!   This is where Megatron TP/PP boxes, FSDP flat-parameter ranges (the
+//!   irregular-tensor source), and Megatron distributed-optimizer
+//!   flattened-TP-shard ranges are produced.
+//! * [`trainer`] — a deterministic trainer: pseudo-gradients are a pure
+//!   function of (tensor, global element index, step), so parameter
+//!   evolution is **bitwise independent of parallelism** — the property
+//!   that lets tests verify load-time resharding bitwise (paper §6.3).
+//! * [`extra`] — the CPU-side extra state (RNG, step, LR schedule) packed
+//!   into "one compact byte object" as the paper describes.
+//! * [`mlp`] — a small genuinely-trained MLP (manual backprop, data-parallel
+//!   gradient all-reduce) used by the quickstart examples, so at least one
+//!   workload is real learning rather than pseudo-gradients.
+
+pub mod arch;
+pub mod extra;
+pub mod mlp;
+pub mod states;
+pub mod trainer;
+pub mod zoo;
+
+pub use arch::{ArchKind, ParamDef, StageHint, TpRole, TransformerConfig};
+pub use extra::ExtraState;
+pub use states::{Framework, StateDict, StateEntry, TrainState};
+pub use trainer::TrainerConfig;

@@ -1,0 +1,56 @@
+//! The Fig. 12 visualization: per-phase duration breakdown for one rank,
+//! rendered as ASCII bars ("detailed timeline breakdowns of checkpointing
+//! procedures at each rank").
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Render a phase→duration map as sorted ASCII bars with percentages.
+pub fn render_breakdown(rank: usize, phases: &BTreeMap<String, Duration>) -> String {
+    // `+ 0.0`: an empty f64 sum is -0.0, which would print "-0.000";
+    // adding positive zero normalizes the sign (IEEE 754: -0.0 + 0.0 = +0.0).
+    let total: f64 = phases.values().map(|d| d.as_secs_f64()).sum::<f64>() + 0.0;
+    let mut rows: Vec<(&String, &Duration)> = phases.iter().collect();
+    rows.sort_by(|a, b| b.1.cmp(a.1));
+    let width = 40usize;
+    let name_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(8).max(8);
+    let mut out = format!("phase breakdown for rank {rank} (total {total:.3}s)\n");
+    for (name, d) in rows {
+        let frac = if total > 0.0 { d.as_secs_f64() / total } else { 0.0 };
+        let bars = (frac * width as f64).round() as usize;
+        out.push_str(&format!(
+            "  {:<name_w$} {:>9.4}s {:>6.2}% |{}\n",
+            name,
+            d.as_secs_f64(),
+            frac * 100.0,
+            "█".repeat(bars),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_sorted_bars() {
+        let mut phases = BTreeMap::new();
+        phases.insert("save/upload".to_string(), Duration::from_millis(300));
+        phases.insert("save/serialize".to_string(), Duration::from_millis(100));
+        phases.insert("save/d2h".to_string(), Duration::from_millis(10));
+        let s = render_breakdown(0, &phases);
+        // Longest phase listed first.
+        let upload_pos = s.find("save/upload").unwrap();
+        let d2h_pos = s.find("save/d2h").unwrap();
+        assert!(upload_pos < d2h_pos);
+        assert!(s.contains("rank 0"));
+        assert!(s.contains('█'));
+    }
+
+    #[test]
+    fn empty_breakdown_does_not_divide_by_zero() {
+        let s = render_breakdown(1, &BTreeMap::new());
+        assert!(s.contains("total 0.000s"));
+    }
+}

@@ -1,0 +1,130 @@
+//! The Fig. 11 visualization: a topology heat map of per-rank durations.
+//!
+//! "ByteCheckpoint provides users with a comprehensive topological
+//! performance overview of all ranks ... Fig. 11 presents an exemplary
+//! heat-map visualization of checkpoint saving times within a 3D parallel
+//! training topology." Rendered as ASCII (terminal) and CSV (tooling).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Grid arrangement for the heat map. With 3D parallelism the paper plots
+/// the PP × (DP·TP) plane; any rows × cols factorization of the world works.
+#[derive(Debug, Clone, Copy)]
+pub struct HeatmapSpec {
+    /// Number of rows (e.g. the PP degree).
+    pub rows: usize,
+    /// Number of columns (e.g. DP·TP).
+    pub cols: usize,
+    /// Label for the row axis.
+    pub row_label: &'static str,
+    /// Label for the column axis.
+    pub col_label: &'static str,
+}
+
+const SHADES: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Render per-rank durations as an ASCII heat map plus a CSV block.
+///
+/// Rank `r` lands at `(r / cols, r % cols)`. Missing ranks render as `?`.
+pub fn render_heatmap(spec: &HeatmapSpec, by_rank: &BTreeMap<usize, Duration>) -> String {
+    let max = by_rank.values().copied().max().unwrap_or(Duration::ZERO);
+    let max_s = max.as_secs_f64().max(1e-12);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "heatmap rows={} ({}) cols={} ({}), max={:.3}s\n",
+        spec.rows, spec.row_label, spec.cols, spec.col_label, max.as_secs_f64()
+    ));
+    // Column header.
+    out.push_str("      ");
+    for c in 0..spec.cols {
+        out.push_str(&format!("{:>3}", c % 1000));
+    }
+    out.push('\n');
+    for r in 0..spec.rows {
+        out.push_str(&format!("{:>4} |", r));
+        for c in 0..spec.cols {
+            let rank = r * spec.cols + c;
+            match by_rank.get(&rank) {
+                Some(d) => {
+                    let frac = d.as_secs_f64() / max_s;
+                    let idx = ((frac * (SHADES.len() - 1) as f64).round() as usize)
+                        .min(SHADES.len() - 1);
+                    out.push_str(&format!("  {}", SHADES[idx]));
+                }
+                None => out.push_str("  ?"),
+            }
+        }
+        out.push('\n');
+    }
+    // CSV block for tooling.
+    out.push_str("csv: rank,row,col,seconds\n");
+    for (&rank, d) in by_rank {
+        out.push_str(&format!(
+            "csv: {},{},{},{:.6}\n",
+            rank,
+            rank / spec.cols,
+            rank % spec.cols,
+            d.as_secs_f64()
+        ));
+    }
+    out
+}
+
+/// Identify straggler ranks: those whose duration exceeds the mean by
+/// `factor`. The paper's stated use case: "easily pinpoint straggler nodes".
+pub fn stragglers(by_rank: &BTreeMap<usize, Duration>, factor: f64) -> Vec<usize> {
+    if by_rank.is_empty() {
+        return Vec::new();
+    }
+    let mean: f64 =
+        by_rank.values().map(|d| d.as_secs_f64()).sum::<f64>() / by_rank.len() as f64;
+    by_rank
+        .iter()
+        .filter(|(_, d)| d.as_secs_f64() > mean * factor)
+        .map(|(&r, _)| r)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BTreeMap<usize, Duration> {
+        // 8 ranks; ranks 0 and 4 are slow (dataloader holders, like Fig 11).
+        let mut m = BTreeMap::new();
+        for r in 0..8 {
+            let ms = if r % 4 == 0 { 100 } else { 10 };
+            m.insert(r, Duration::from_millis(ms));
+        }
+        m
+    }
+
+    #[test]
+    fn renders_grid_and_csv() {
+        let spec = HeatmapSpec { rows: 2, cols: 4, row_label: "pp", col_label: "dp*tp" };
+        let s = render_heatmap(&spec, &sample());
+        assert!(s.contains("rows=2"));
+        // Slow ranks get the darkest shade.
+        assert!(s.contains('@'));
+        // CSV has one line per rank.
+        assert_eq!(s.lines().filter(|l| l.starts_with("csv: ") && l.contains(',')).count(), 9);
+        assert!(s.contains("csv: 4,1,0,0.100000"));
+    }
+
+    #[test]
+    fn missing_ranks_marked() {
+        let spec = HeatmapSpec { rows: 1, cols: 4, row_label: "pp", col_label: "dp" };
+        let mut m = BTreeMap::new();
+        m.insert(0usize, Duration::from_millis(5));
+        let s = render_heatmap(&spec, &m);
+        assert!(s.contains('?'));
+    }
+
+    #[test]
+    fn straggler_detection() {
+        let found = stragglers(&sample(), 2.0);
+        assert_eq!(found, vec![0, 4]);
+        assert!(stragglers(&BTreeMap::new(), 2.0).is_empty());
+    }
+}

@@ -1,0 +1,24 @@
+//! # bcp-monitor — performance monitoring and visualization (paper §5.3)
+//!
+//! "ByteCheckpoint continuously collects critical performance measurements
+//! and visualizes them for real-time performance monitoring and analysis."
+//!
+//! * [`MetricsSink`] — a cheap, cloneable handle training/engine threads use
+//!   to record scoped timings ([`MetricsSink::timer`], the Rust analogue of
+//!   the paper's context-manager/decorator metrics syntax) and I/O sizes.
+//!   Records flow over a background channel (the paper's message queue) to
+//!   the [`MetricsHub`].
+//! * [`MetricsHub`] — drains and aggregates records; answers the queries the
+//!   visualizations need (per-rank phase totals, per-phase breakdowns).
+//! * [`heatmap`] — the Fig. 11 visualization: a rank-topology heat map of
+//!   end-to-end saving time, rendered as ASCII + CSV.
+//! * [`breakdown`] — the Fig. 12 visualization: per-phase duration bars for
+//!   one rank.
+
+pub mod breakdown;
+pub mod heatmap;
+pub mod metrics;
+
+pub use breakdown::render_breakdown;
+pub use heatmap::{render_heatmap, HeatmapSpec};
+pub use metrics::{MetricRecord, MetricsHub, MetricsSink, TimerGuard};

@@ -1,0 +1,302 @@
+//! Metric collection: scoped timers flowing over a background channel.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// One collected measurement: "the duration and I/O size of each operation,
+/// along with relevant metadata such as each worker's rank, the file path,
+/// and the current step".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricRecord {
+    /// Phase/operation name, e.g. `"save/upload"`.
+    pub name: String,
+    /// Worker rank that produced the record.
+    pub rank: usize,
+    /// Global training step at the time of the operation.
+    pub step: u64,
+    /// Wall-clock duration of the operation.
+    pub duration: Duration,
+    /// Bytes moved, when the operation is an I/O.
+    pub io_bytes: u64,
+    /// File path involved, when applicable.
+    pub path: Option<String>,
+}
+
+impl MetricRecord {
+    /// Effective throughput in bytes/second (None when no I/O or no time).
+    pub fn throughput(&self) -> Option<f64> {
+        if self.io_bytes == 0 || self.duration.is_zero() {
+            None
+        } else {
+            Some(self.io_bytes as f64 / self.duration.as_secs_f64())
+        }
+    }
+}
+
+/// Cloneable producer handle. Cheap enough to pass to every worker thread.
+#[derive(Clone)]
+pub struct MetricsSink {
+    tx: Sender<MetricRecord>,
+}
+
+impl MetricsSink {
+    /// A sink whose records go nowhere (for code paths where monitoring is
+    /// disabled). Records are dropped when the paired receiver is gone.
+    pub fn disabled() -> MetricsSink {
+        let (tx, _rx) = unbounded();
+        MetricsSink { tx }
+    }
+
+    /// Emit a pre-built record.
+    pub fn record(&self, rec: MetricRecord) {
+        let _ = self.tx.send(rec); // hub gone = monitoring disabled; drop
+    }
+
+    /// Start a scoped timer; the record is emitted when the guard drops.
+    ///
+    /// ```
+    /// # let hub = bcp_monitor::MetricsHub::new();
+    /// # let sink = hub.sink();
+    /// {
+    ///     let _t = sink.timer("save/serialize", 0, 100).bytes(1 << 20);
+    ///     // ... do the work ...
+    /// } // record emitted here
+    /// ```
+    pub fn timer(&self, name: impl Into<String>, rank: usize, step: u64) -> TimerGuard {
+        TimerGuard {
+            sink: self.clone(),
+            name: name.into(),
+            rank,
+            step,
+            io_bytes: 0,
+            path: None,
+            start: Instant::now(),
+        }
+    }
+}
+
+/// RAII guard emitting a [`MetricRecord`] on drop.
+pub struct TimerGuard {
+    sink: MetricsSink,
+    name: String,
+    rank: usize,
+    step: u64,
+    io_bytes: u64,
+    path: Option<String>,
+    start: Instant,
+}
+
+impl TimerGuard {
+    /// Attach an I/O size to the eventual record.
+    pub fn bytes(mut self, n: u64) -> TimerGuard {
+        self.io_bytes = n;
+        self
+    }
+
+    /// Attach (or accumulate) I/O bytes on a guard held by reference.
+    pub fn add_bytes(&mut self, n: u64) {
+        self.io_bytes += n;
+    }
+
+    /// Attach a file path to the eventual record.
+    pub fn path(mut self, p: impl Into<String>) -> TimerGuard {
+        self.path = Some(p.into());
+        self
+    }
+}
+
+impl Drop for TimerGuard {
+    fn drop(&mut self) {
+        self.sink.record(MetricRecord {
+            name: std::mem::take(&mut self.name),
+            rank: self.rank,
+            step: self.step,
+            duration: self.start.elapsed(),
+            io_bytes: self.io_bytes,
+            path: self.path.take(),
+        });
+    }
+}
+
+/// Consumer side: drains the channel and serves aggregate queries.
+pub struct MetricsHub {
+    tx: Sender<MetricRecord>,
+    rx: Receiver<MetricRecord>,
+    collected: Mutex<Vec<MetricRecord>>,
+}
+
+impl Default for MetricsHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsHub {
+    /// Create a hub with its own channel.
+    pub fn new() -> MetricsHub {
+        let (tx, rx) = unbounded();
+        MetricsHub { tx, rx, collected: Mutex::new(Vec::new()) }
+    }
+
+    /// Producer handle for worker threads.
+    pub fn sink(&self) -> MetricsSink {
+        MetricsSink { tx: self.tx.clone() }
+    }
+
+    /// Pull everything pending off the channel into the store.
+    pub fn drain(&self) {
+        let mut collected = self.collected.lock();
+        while let Ok(rec) = self.rx.try_recv() {
+            collected.push(rec);
+        }
+    }
+
+    /// Snapshot of all records collected so far.
+    pub fn records(&self) -> Vec<MetricRecord> {
+        self.drain();
+        self.collected.lock().clone()
+    }
+
+    /// Discard everything collected so far.
+    pub fn clear(&self) {
+        self.drain();
+        self.collected.lock().clear();
+    }
+
+    /// Total duration per rank for records whose name has `prefix`.
+    /// Feeds the Fig. 11 heat map ("end-to-end checkpoint saving time").
+    pub fn total_by_rank(&self, prefix: &str) -> BTreeMap<usize, Duration> {
+        let mut out = BTreeMap::new();
+        for rec in self.records() {
+            if rec.name.starts_with(prefix) {
+                *out.entry(rec.rank).or_insert(Duration::ZERO) += rec.duration;
+            }
+        }
+        out
+    }
+
+    /// Total duration per phase name for one rank (Fig. 12 breakdown).
+    pub fn breakdown_for_rank(&self, rank: usize) -> BTreeMap<String, Duration> {
+        let mut out = BTreeMap::new();
+        for rec in self.records() {
+            if rec.rank == rank {
+                *out.entry(rec.name).or_insert(Duration::ZERO) += rec.duration;
+            }
+        }
+        out
+    }
+
+    /// Records with throughput below `min_bps` — the alerting rule the paper
+    /// applies on the storage-client side ("unexpectedly high latency or low
+    /// bandwidth triggers alerts").
+    pub fn slow_ios(&self, min_bps: f64) -> Vec<MetricRecord> {
+        self.records()
+            .into_iter()
+            .filter(|r| matches!(r.throughput(), Some(t) if t < min_bps))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_guard_records_on_drop() {
+        let hub = MetricsHub::new();
+        let sink = hub.sink();
+        {
+            let _t = sink.timer("phase/a", 3, 100).bytes(1024).path("f.bin");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let recs = hub.records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].name, "phase/a");
+        assert_eq!(recs[0].rank, 3);
+        assert_eq!(recs[0].step, 100);
+        assert_eq!(recs[0].io_bytes, 1024);
+        assert_eq!(recs[0].path.as_deref(), Some("f.bin"));
+        assert!(recs[0].duration >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn aggregation_by_rank_and_phase() {
+        let hub = MetricsHub::new();
+        let sink = hub.sink();
+        for rank in 0..4 {
+            sink.record(MetricRecord {
+                name: "save/upload".into(),
+                rank,
+                step: 1,
+                duration: Duration::from_millis(10 * (rank as u64 + 1)),
+                io_bytes: 100,
+                path: None,
+            });
+            sink.record(MetricRecord {
+                name: "save/d2h".into(),
+                rank,
+                step: 1,
+                duration: Duration::from_millis(1),
+                io_bytes: 0,
+                path: None,
+            });
+        }
+        let by_rank = hub.total_by_rank("save/");
+        assert_eq!(by_rank[&3], Duration::from_millis(41));
+        let breakdown = hub.breakdown_for_rank(0);
+        assert_eq!(breakdown["save/upload"], Duration::from_millis(10));
+        assert_eq!(breakdown["save/d2h"], Duration::from_millis(1));
+    }
+
+    #[test]
+    fn slow_io_detection() {
+        let hub = MetricsHub::new();
+        let sink = hub.sink();
+        sink.record(MetricRecord {
+            name: "upload".into(),
+            rank: 0,
+            step: 0,
+            duration: Duration::from_secs(1),
+            io_bytes: 100, // 100 B/s: pathologically slow
+            path: Some("slow.bin".into()),
+        });
+        sink.record(MetricRecord {
+            name: "upload".into(),
+            rank: 1,
+            step: 0,
+            duration: Duration::from_secs(1),
+            io_bytes: 1 << 30, // 1 GiB/s: healthy
+            path: Some("fast.bin".into()),
+        });
+        let slow = hub.slow_ios(1024.0 * 1024.0);
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].path.as_deref(), Some("slow.bin"));
+    }
+
+    #[test]
+    fn disabled_sink_drops_records() {
+        let sink = MetricsSink::disabled();
+        let _t = sink.timer("x", 0, 0); // must not panic on drop
+    }
+
+    #[test]
+    fn concurrent_producers() {
+        let hub = MetricsHub::new();
+        let mut handles = Vec::new();
+        for rank in 0..8 {
+            let sink = hub.sink();
+            handles.push(std::thread::spawn(move || {
+                for step in 0..100u64 {
+                    let _t = sink.timer("p", rank, step);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(hub.records().len(), 800);
+    }
+}

@@ -1,0 +1,145 @@
+//! Failure injection: a backend wrapper that fails a configurable number of
+//! operations, for exercising the engine's upload/download retry machinery
+//! and failure logging (paper Appendix B).
+
+use crate::{DynBackend, Result, StorageBackend, StorageError};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which operation classes to inject failures into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureMode {
+    /// Fail writes/appends/concats (upload path).
+    Writes,
+    /// Fail reads (download path).
+    Reads,
+    /// Fail both.
+    All,
+}
+
+/// A backend that fails the first `failures_per_path` matching operations on
+/// each path, then succeeds — modeling transient storage faults that retry
+/// loops must absorb.
+pub struct FlakyBackend {
+    inner: DynBackend,
+    mode: FailureMode,
+    failures_per_path: u32,
+    counts: Mutex<HashMap<String, u32>>,
+    injected_total: AtomicU64,
+}
+
+impl FlakyBackend {
+    /// Wrap `inner`, injecting `failures_per_path` failures per path for the
+    /// chosen operation class.
+    pub fn new(inner: DynBackend, mode: FailureMode, failures_per_path: u32) -> FlakyBackend {
+        FlakyBackend {
+            inner,
+            mode,
+            failures_per_path,
+            counts: Mutex::new(HashMap::new()),
+            injected_total: AtomicU64::new(0),
+        }
+    }
+
+    /// Total number of failures injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected_total.load(Ordering::Relaxed)
+    }
+
+    fn maybe_fail(&self, path: &str, class: FailureMode) -> Result<()> {
+        let applicable = matches!(self.mode, FailureMode::All) || self.mode == class;
+        if !applicable {
+            return Ok(());
+        }
+        let mut counts = self.counts.lock();
+        let used = counts.entry(path.to_string()).or_insert(0);
+        if *used < self.failures_per_path {
+            *used += 1;
+            let remaining = self.failures_per_path - *used;
+            self.injected_total.fetch_add(1, Ordering::Relaxed);
+            return Err(StorageError::Injected { path: path.to_string(), remaining });
+        }
+        Ok(())
+    }
+}
+
+impl StorageBackend for FlakyBackend {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn write(&self, path: &str, data: Bytes) -> Result<()> {
+        self.maybe_fail(path, FailureMode::Writes)?;
+        self.inner.write(path, data)
+    }
+
+    fn append(&self, path: &str, data: &[u8]) -> Result<()> {
+        self.maybe_fail(path, FailureMode::Writes)?;
+        self.inner.append(path, data)
+    }
+
+    fn read(&self, path: &str) -> Result<Bytes> {
+        self.maybe_fail(path, FailureMode::Reads)?;
+        self.inner.read(path)
+    }
+
+    fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+        self.maybe_fail(path, FailureMode::Reads)?;
+        self.inner.read_range(path, offset, len)
+    }
+
+    fn size(&self, path: &str) -> Result<u64> {
+        self.inner.size(path)
+    }
+
+    fn exists(&self, path: &str) -> Result<bool> {
+        self.inner.exists(path)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.inner.list(prefix)
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        self.inner.delete(path)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        self.maybe_fail(from, FailureMode::Writes)?;
+        self.inner.rename(from, to)
+    }
+
+    fn concat(&self, target: &str, parts: &[String]) -> Result<()> {
+        self.maybe_fail(target, FailureMode::Writes)?;
+        self.inner.concat(target, parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryBackend;
+    use std::sync::Arc;
+
+    #[test]
+    fn fails_then_succeeds_per_path() {
+        let f = FlakyBackend::new(Arc::new(MemoryBackend::new()), FailureMode::Writes, 2);
+        let data = Bytes::from_static(b"x");
+        assert!(matches!(f.write("a", data.clone()), Err(StorageError::Injected { .. })));
+        assert!(matches!(f.write("a", data.clone()), Err(StorageError::Injected { .. })));
+        assert!(f.write("a", data.clone()).is_ok());
+        // Independent budget per path.
+        assert!(matches!(f.write("b", data.clone()), Err(StorageError::Injected { .. })));
+        assert_eq!(f.injected(), 3);
+    }
+
+    #[test]
+    fn read_mode_does_not_affect_writes() {
+        let f = FlakyBackend::new(Arc::new(MemoryBackend::new()), FailureMode::Reads, 1);
+        f.write("a", Bytes::from_static(b"1")).unwrap();
+        assert!(f.read("a").is_err());
+        assert_eq!(&f.read("a").unwrap()[..], b"1");
+    }
+}

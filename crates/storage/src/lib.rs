@@ -1,0 +1,211 @@
+//! # bcp-storage — storage backends for checkpoint persistence
+//!
+//! The paper's Storage I/O layer "encapsulates different storage backends
+//! and manages backend-specific read/write operations and optimizations",
+//! with a unified interface toward the execution engine (Fig. 4). This crate
+//! provides that interface, [`StorageBackend`], and the backends:
+//!
+//! * [`MemoryBackend`] — in-memory object store. Doubles as the engine's
+//!   shared-memory staging area (the paper's `/dev/shm` dump target) and as
+//!   Gemini-style in-memory checkpoint storage.
+//! * [`DiskBackend`] — real files under a root directory (debugging-scale
+//!   jobs and all integration tests).
+//! * [`hdfs::HdfsBackend`] — a simulated HDFS: append-only files, a
+//!   NameNode with per-metadata-op latency, QPS throttling and
+//!   (configurable) serial vs. parallel concat, an NNProxy metadata cache,
+//!   sub-file concatenation (§4.3), and SSD→HDD cool-down tiering (§5.1).
+//! * [`throttle::Throttled`] — wraps any backend with bandwidth/latency
+//!   profiles (used to model NAS and to make monitoring output realistic).
+//! * [`flaky::FlakyBackend`] — failure injection for upload/download retry
+//!   tests (Appendix B).
+//!
+//! Paths are slash-separated keys (`checkpoints/step_100/model_3.bin`).
+//! URIs (`hdfs://...`, `file://...`, `mem://...`) are parsed by [`uri`] and
+//! resolved to a backend by the engine, mirroring "the Engine analyzes the
+//! given checkpoint path to determine the appropriate storage backend".
+
+pub mod disk;
+pub mod flaky;
+pub mod hdfs;
+pub mod memory;
+pub mod throttle;
+pub mod uri;
+
+pub use disk::DiskBackend;
+pub use flaky::FlakyBackend;
+pub use hdfs::{HdfsBackend, HdfsConfig, NameNodeStats};
+pub use memory::MemoryBackend;
+pub use throttle::{Throttled, ThrottleProfile};
+pub use uri::StorageUri;
+
+use bytes::Bytes;
+use std::sync::Arc;
+
+/// Errors produced by storage operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The object does not exist.
+    NotFound(String),
+    /// The object already exists and the operation requires it not to.
+    AlreadyExists(String),
+    /// A read range exceeded the object size.
+    RangeOutOfBounds { path: String, size: u64, offset: u64, len: u64 },
+    /// Backend-specific I/O failure (message carries detail).
+    Io(String),
+    /// The operation is not supported by this backend (e.g. random-offset
+    /// writes on append-only HDFS).
+    Unsupported(&'static str),
+    /// Injected failure (failure-injection wrapper).
+    Injected { path: String, remaining: u32 },
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::NotFound(p) => write!(f, "object not found: {p}"),
+            StorageError::AlreadyExists(p) => write!(f, "object already exists: {p}"),
+            StorageError::RangeOutOfBounds { path, size, offset, len } => write!(
+                f,
+                "range [{offset}, {}) out of bounds for {path} (size {size})",
+                offset + len
+            ),
+            StorageError::Io(m) => write!(f, "storage I/O error: {m}"),
+            StorageError::Unsupported(op) => write!(f, "operation not supported: {op}"),
+            StorageError::Injected { path, remaining } => {
+                write!(f, "injected failure on {path} ({remaining} more to come)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// The unified storage interface between the execution engine and backends.
+///
+/// Semantics contract:
+/// * `write` atomically creates-or-replaces a whole object.
+/// * `append` extends an existing object (creating it when absent) — the
+///   only mutation HDFS-like backends allow besides whole-object `write`.
+/// * `read_range` must be cheap and thread-safe: the engine issues many
+///   concurrent ranged reads of one file (§4.3 multi-threaded download).
+/// * `concat` merges `parts` (in order) into `target` and removes the
+///   parts — a *metadata-level* operation on HDFS (§4.3 upload path).
+/// * `rename` is atomic; the engine uses it to commit checkpoints.
+pub trait StorageBackend: Send + Sync {
+    /// Backend name for monitoring output ("memory", "disk", "hdfs", "nas").
+    fn name(&self) -> &str;
+
+    /// Create or replace the whole object at `path`.
+    fn write(&self, path: &str, data: Bytes) -> Result<()>;
+
+    /// Append to the object at `path`, creating it if absent.
+    fn append(&self, path: &str, data: &[u8]) -> Result<()>;
+
+    /// Read the whole object.
+    fn read(&self, path: &str) -> Result<Bytes>;
+
+    /// Read `len` bytes starting at `offset`.
+    fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Bytes>;
+
+    /// Object size in bytes.
+    fn size(&self, path: &str) -> Result<u64>;
+
+    /// Whether the object exists.
+    fn exists(&self, path: &str) -> Result<bool>;
+
+    /// All object paths with the given prefix, sorted.
+    fn list(&self, prefix: &str) -> Result<Vec<String>>;
+
+    /// Remove the object.
+    fn delete(&self, path: &str) -> Result<()>;
+
+    /// Atomically rename an object.
+    fn rename(&self, from: &str, to: &str) -> Result<()>;
+
+    /// Merge `parts` in order into `target`, removing the parts.
+    fn concat(&self, target: &str, parts: &[String]) -> Result<()>;
+}
+
+/// Shared, dynamically-dispatched backend handle used across engine threads.
+pub type DynBackend = Arc<dyn StorageBackend>;
+
+#[cfg(test)]
+pub(crate) mod conformance {
+    //! A conformance suite every backend must pass; each backend's tests
+    //! call into this with a fresh instance.
+    use super::*;
+
+    pub fn run_all(b: &dyn StorageBackend) {
+        whole_object_round_trip(b);
+        append_semantics(b);
+        ranged_reads(b);
+        listing_and_delete(b);
+        rename_moves(b);
+        concat_merges_and_removes_parts(b);
+        error_cases(b);
+    }
+
+    fn whole_object_round_trip(b: &dyn StorageBackend) {
+        b.write("a/b/file1", Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(&b.read("a/b/file1").unwrap()[..], b"hello");
+        assert_eq!(b.size("a/b/file1").unwrap(), 5);
+        assert!(b.exists("a/b/file1").unwrap());
+        // Overwrite replaces.
+        b.write("a/b/file1", Bytes::from_static(b"x")).unwrap();
+        assert_eq!(b.size("a/b/file1").unwrap(), 1);
+    }
+
+    fn append_semantics(b: &dyn StorageBackend) {
+        b.append("app/log", b"one").unwrap();
+        b.append("app/log", b"two").unwrap();
+        assert_eq!(&b.read("app/log").unwrap()[..], b"onetwo");
+    }
+
+    fn ranged_reads(b: &dyn StorageBackend) {
+        b.write("r/data", Bytes::from_static(b"0123456789")).unwrap();
+        assert_eq!(&b.read_range("r/data", 2, 3).unwrap()[..], b"234");
+        assert_eq!(&b.read_range("r/data", 0, 10).unwrap()[..], b"0123456789");
+        assert_eq!(&b.read_range("r/data", 9, 1).unwrap()[..], b"9");
+        assert!(matches!(
+            b.read_range("r/data", 8, 5),
+            Err(StorageError::RangeOutOfBounds { .. })
+        ));
+    }
+
+    fn listing_and_delete(b: &dyn StorageBackend) {
+        b.write("l/x/1", Bytes::from_static(b"a")).unwrap();
+        b.write("l/x/2", Bytes::from_static(b"b")).unwrap();
+        b.write("l/y/3", Bytes::from_static(b"c")).unwrap();
+        assert_eq!(b.list("l/x/").unwrap(), vec!["l/x/1".to_string(), "l/x/2".to_string()]);
+        assert_eq!(b.list("l/").unwrap().len(), 3);
+        b.delete("l/x/1").unwrap();
+        assert!(!b.exists("l/x/1").unwrap());
+        assert!(matches!(b.delete("l/x/1"), Err(StorageError::NotFound(_))));
+    }
+
+    fn rename_moves(b: &dyn StorageBackend) {
+        b.write("mv/src", Bytes::from_static(b"payload")).unwrap();
+        b.rename("mv/src", "mv/dst").unwrap();
+        assert!(!b.exists("mv/src").unwrap());
+        assert_eq!(&b.read("mv/dst").unwrap()[..], b"payload");
+    }
+
+    fn concat_merges_and_removes_parts(b: &dyn StorageBackend) {
+        b.write("c/part0", Bytes::from_static(b"AA")).unwrap();
+        b.write("c/part1", Bytes::from_static(b"BB")).unwrap();
+        b.write("c/part2", Bytes::from_static(b"CC")).unwrap();
+        b.concat("c/merged", &["c/part0".into(), "c/part1".into(), "c/part2".into()]).unwrap();
+        assert_eq!(&b.read("c/merged").unwrap()[..], b"AABBCC");
+        assert!(!b.exists("c/part0").unwrap());
+        assert!(!b.exists("c/part2").unwrap());
+    }
+
+    fn error_cases(b: &dyn StorageBackend) {
+        assert!(matches!(b.read("missing"), Err(StorageError::NotFound(_))));
+        assert!(matches!(b.size("missing"), Err(StorageError::NotFound(_))));
+        assert!(matches!(b.rename("missing", "x"), Err(StorageError::NotFound(_))));
+    }
+}

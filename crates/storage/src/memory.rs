@@ -1,0 +1,164 @@
+//! In-memory object store.
+//!
+//! Serves three roles: unit-test backend, the engine's shared-memory staging
+//! area (the paper dumps serialized files into `/dev/shm` before upload),
+//! and Gemini-style in-memory checkpoint storage for fast failure recovery.
+
+use crate::{Result, StorageBackend, StorageError};
+use bytes::{Bytes, BytesMut};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// A thread-safe in-memory object store keyed by path.
+#[derive(Default)]
+pub struct MemoryBackend {
+    objects: RwLock<BTreeMap<String, Bytes>>,
+}
+
+impl MemoryBackend {
+    /// Create an empty store.
+    pub fn new() -> MemoryBackend {
+        MemoryBackend::default()
+    }
+
+    /// Total bytes currently stored (capacity monitoring).
+    pub fn total_bytes(&self) -> u64 {
+        self.objects.read().values().map(|b| b.len() as u64).sum()
+    }
+
+    /// Number of objects stored.
+    pub fn num_objects(&self) -> usize {
+        self.objects.read().len()
+    }
+}
+
+impl StorageBackend for MemoryBackend {
+    fn name(&self) -> &str {
+        "memory"
+    }
+
+    fn write(&self, path: &str, data: Bytes) -> Result<()> {
+        self.objects.write().insert(path.to_string(), data);
+        Ok(())
+    }
+
+    fn append(&self, path: &str, data: &[u8]) -> Result<()> {
+        let mut objects = self.objects.write();
+        let entry = objects.entry(path.to_string()).or_default();
+        let mut buf = BytesMut::with_capacity(entry.len() + data.len());
+        buf.extend_from_slice(entry);
+        buf.extend_from_slice(data);
+        *entry = buf.freeze();
+        Ok(())
+    }
+
+    fn read(&self, path: &str) -> Result<Bytes> {
+        self.objects
+            .read()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| StorageError::NotFound(path.to_string()))
+    }
+
+    fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+        let objects = self.objects.read();
+        let obj = objects.get(path).ok_or_else(|| StorageError::NotFound(path.to_string()))?;
+        let size = obj.len() as u64;
+        if offset + len > size {
+            return Err(StorageError::RangeOutOfBounds { path: path.to_string(), size, offset, len });
+        }
+        Ok(obj.slice(offset as usize..(offset + len) as usize))
+    }
+
+    fn size(&self, path: &str) -> Result<u64> {
+        self.objects
+            .read()
+            .get(path)
+            .map(|b| b.len() as u64)
+            .ok_or_else(|| StorageError::NotFound(path.to_string()))
+    }
+
+    fn exists(&self, path: &str) -> Result<bool> {
+        Ok(self.objects.read().contains_key(path))
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        Ok(self
+            .objects
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect())
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        self.objects
+            .write()
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| StorageError::NotFound(path.to_string()))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let mut objects = self.objects.write();
+        let data = objects.remove(from).ok_or_else(|| StorageError::NotFound(from.to_string()))?;
+        objects.insert(to.to_string(), data);
+        Ok(())
+    }
+
+    fn concat(&self, target: &str, parts: &[String]) -> Result<()> {
+        let mut objects = self.objects.write();
+        let mut buf = BytesMut::new();
+        for p in parts {
+            let data = objects.get(p).ok_or_else(|| StorageError::NotFound(p.clone()))?;
+            buf.extend_from_slice(data);
+        }
+        for p in parts {
+            objects.remove(p);
+        }
+        objects.insert(target.to_string(), buf.freeze());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conformance() {
+        crate::conformance::run_all(&MemoryBackend::new());
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let m = MemoryBackend::new();
+        m.write("a", Bytes::from_static(b"1234")).unwrap();
+        m.write("b", Bytes::from_static(b"56")).unwrap();
+        assert_eq!(m.total_bytes(), 6);
+        assert_eq!(m.num_objects(), 2);
+        m.delete("a").unwrap();
+        assert_eq!(m.total_bytes(), 2);
+    }
+
+    #[test]
+    fn concurrent_ranged_reads() {
+        let m = std::sync::Arc::new(MemoryBackend::new());
+        let data: Vec<u8> = (0..=255u8).cycle().take(1 << 16).collect();
+        m.write("big", Bytes::from(data.clone())).unwrap();
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let m = m.clone();
+            let expected = data.clone();
+            handles.push(std::thread::spawn(move || {
+                let chunk = (1u64 << 16) / 8;
+                let got = m.read_range("big", t * chunk, chunk).unwrap();
+                assert_eq!(&got[..], &expected[(t * chunk) as usize..((t + 1) * chunk) as usize]);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

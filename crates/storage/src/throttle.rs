@@ -1,0 +1,151 @@
+//! Bandwidth/latency throttling wrapper.
+//!
+//! Wraps any backend with a transfer-rate profile so that real executions
+//! exhibit realistic *relative* timing (e.g. NAS slower than local disk,
+//! HDFS fast for parallel ranged reads). The monitoring demos (Fig. 11/12)
+//! use this to make per-phase durations visible; correctness tests leave it
+//! off. Rates are deliberately scaled-down analogues, not measurements.
+
+use crate::{DynBackend, Result, StorageBackend};
+use bytes::Bytes;
+use std::time::Duration;
+
+/// A transfer-rate profile in bytes per second plus fixed per-op latency.
+#[derive(Debug, Clone, Copy)]
+pub struct ThrottleProfile {
+    /// Read throughput cap in bytes/second (`f64::INFINITY` = uncapped).
+    pub read_bps: f64,
+    /// Write throughput cap in bytes/second.
+    pub write_bps: f64,
+    /// Fixed latency added to every operation.
+    pub op_latency: Duration,
+}
+
+impl ThrottleProfile {
+    /// No throttling at all.
+    pub fn unlimited() -> ThrottleProfile {
+        ThrottleProfile { read_bps: f64::INFINITY, write_bps: f64::INFINITY, op_latency: Duration::ZERO }
+    }
+
+    /// A scaled-down NAS-like profile: moderate bandwidth, noticeable
+    /// per-op latency.
+    pub fn nas_like() -> ThrottleProfile {
+        ThrottleProfile {
+            read_bps: 512.0 * 1024.0 * 1024.0,
+            write_bps: 256.0 * 1024.0 * 1024.0,
+            op_latency: Duration::from_micros(500),
+        }
+    }
+
+    fn delay_for(&self, bytes: usize, bps: f64) -> Duration {
+        let mut d = self.op_latency;
+        if bps.is_finite() && bps > 0.0 {
+            d += Duration::from_secs_f64(bytes as f64 / bps);
+        }
+        d
+    }
+}
+
+/// A [`StorageBackend`] decorated with a [`ThrottleProfile`].
+pub struct Throttled {
+    inner: DynBackend,
+    profile: ThrottleProfile,
+    name: String,
+}
+
+impl Throttled {
+    /// Wrap `inner` with `profile`, reporting `name` to monitoring.
+    pub fn new(inner: DynBackend, profile: ThrottleProfile, name: impl Into<String>) -> Throttled {
+        Throttled { inner, profile, name: name.into() }
+    }
+}
+
+impl StorageBackend for Throttled {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn write(&self, path: &str, data: Bytes) -> Result<()> {
+        std::thread::sleep(self.profile.delay_for(data.len(), self.profile.write_bps));
+        self.inner.write(path, data)
+    }
+
+    fn append(&self, path: &str, data: &[u8]) -> Result<()> {
+        std::thread::sleep(self.profile.delay_for(data.len(), self.profile.write_bps));
+        self.inner.append(path, data)
+    }
+
+    fn read(&self, path: &str) -> Result<Bytes> {
+        let data = self.inner.read(path)?;
+        std::thread::sleep(self.profile.delay_for(data.len(), self.profile.read_bps));
+        Ok(data)
+    }
+
+    fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+        let data = self.inner.read_range(path, offset, len)?;
+        std::thread::sleep(self.profile.delay_for(data.len(), self.profile.read_bps));
+        Ok(data)
+    }
+
+    fn size(&self, path: &str) -> Result<u64> {
+        std::thread::sleep(self.profile.op_latency);
+        self.inner.size(path)
+    }
+
+    fn exists(&self, path: &str) -> Result<bool> {
+        std::thread::sleep(self.profile.op_latency);
+        self.inner.exists(path)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        std::thread::sleep(self.profile.op_latency);
+        self.inner.list(prefix)
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        std::thread::sleep(self.profile.op_latency);
+        self.inner.delete(path)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        std::thread::sleep(self.profile.op_latency);
+        self.inner.rename(from, to)
+    }
+
+    fn concat(&self, target: &str, parts: &[String]) -> Result<()> {
+        std::thread::sleep(self.profile.op_latency);
+        self.inner.concat(target, parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryBackend;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn conformance_with_unlimited_profile() {
+        let t = Throttled::new(
+            Arc::new(MemoryBackend::new()),
+            ThrottleProfile::unlimited(),
+            "nas",
+        );
+        crate::conformance::run_all(&t);
+        assert_eq!(t.name(), "nas");
+    }
+
+    #[test]
+    fn throughput_cap_slows_transfers() {
+        let profile = ThrottleProfile {
+            read_bps: f64::INFINITY,
+            write_bps: 1024.0 * 1024.0, // 1 MiB/s
+            op_latency: Duration::ZERO,
+        };
+        let t = Throttled::new(Arc::new(MemoryBackend::new()), profile, "slow");
+        let start = Instant::now();
+        t.write("f", Bytes::from(vec![0u8; 128 * 1024])).unwrap(); // 1/8 MiB
+        assert!(start.elapsed() >= Duration::from_millis(100), "got {:?}", start.elapsed());
+    }
+}

@@ -1,0 +1,142 @@
+//! Checkpoint-path URIs.
+//!
+//! "The Engine analyzes the given checkpoint path to determine the
+//! appropriate storage backend" (§3.1). Users address checkpoints as
+//! `scheme://location/key`, e.g. `hdfs://cluster-a/ckpts/job1/step_100` or
+//! `file:///tmp/debug-ckpt`; this module parses those into a scheme plus a
+//! backend-relative key.
+
+use crate::{Result, StorageError};
+use serde::{Deserialize, Serialize};
+
+/// Storage scheme of a checkpoint URI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// In-memory storage (`mem://`).
+    Memory,
+    /// Local disk (`file://`).
+    File,
+    /// HDFS cluster (`hdfs://`).
+    Hdfs,
+    /// NAS mount (`nas://`).
+    Nas,
+}
+
+impl Scheme {
+    /// Canonical scheme string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Scheme::Memory => "mem",
+            Scheme::File => "file",
+            Scheme::Hdfs => "hdfs",
+            Scheme::Nas => "nas",
+        }
+    }
+}
+
+/// A parsed checkpoint URI: scheme, authority (cluster/host, may be empty),
+/// and slash-separated key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StorageUri {
+    /// Which backend family handles this path.
+    pub scheme: Scheme,
+    /// Cluster / host part (informational; selects among registered
+    /// backends of a scheme).
+    pub authority: String,
+    /// Object-key prefix for the checkpoint.
+    pub key: String,
+}
+
+impl StorageUri {
+    /// Parse `scheme://authority/key`. A bare path with no scheme defaults
+    /// to `file://` (the paper's "local disk for debugging" convention).
+    pub fn parse(s: &str) -> Result<StorageUri> {
+        let (scheme, rest) = match s.split_once("://") {
+            Some((sch, rest)) => {
+                let scheme = match sch {
+                    "mem" | "memory" => Scheme::Memory,
+                    "file" | "local" => Scheme::File,
+                    "hdfs" => Scheme::Hdfs,
+                    "nas" => Scheme::Nas,
+                    other => {
+                        return Err(StorageError::Io(format!("unknown storage scheme {other:?}")))
+                    }
+                };
+                (scheme, rest)
+            }
+            None => (Scheme::File, s),
+        };
+        let (authority, key) = match scheme {
+            // file:///abs/path -> empty authority, key "abs/path"
+            Scheme::File => ("".to_string(), rest.trim_start_matches('/').to_string()),
+            _ => match rest.split_once('/') {
+                Some((auth, key)) => (auth.to_string(), key.trim_matches('/').to_string()),
+                None => (rest.to_string(), String::new()),
+            },
+        };
+        if key.is_empty() {
+            return Err(StorageError::Io(format!("checkpoint URI {s:?} has an empty key")));
+        }
+        Ok(StorageUri { scheme, authority, key })
+    }
+
+    /// Join a sub-path onto this URI's key.
+    pub fn join(&self, sub: &str) -> StorageUri {
+        let mut key = self.key.trim_end_matches('/').to_string();
+        key.push('/');
+        key.push_str(sub.trim_start_matches('/'));
+        StorageUri { scheme: self.scheme, authority: self.authority.clone(), key }
+    }
+}
+
+impl std::fmt::Display for StorageUri {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}://{}/{}", self.scheme.as_str(), self.authority, self.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_schemes() {
+        let u = StorageUri::parse("hdfs://cluster-a/ckpts/job1/step_100").unwrap();
+        assert_eq!(u.scheme, Scheme::Hdfs);
+        assert_eq!(u.authority, "cluster-a");
+        assert_eq!(u.key, "ckpts/job1/step_100");
+
+        let u = StorageUri::parse("mem://gemini/job2").unwrap();
+        assert_eq!(u.scheme, Scheme::Memory);
+        assert_eq!(u.key, "job2");
+
+        let u = StorageUri::parse("file:///tmp/debug").unwrap();
+        assert_eq!(u.scheme, Scheme::File);
+        assert_eq!(u.authority, "");
+        assert_eq!(u.key, "tmp/debug");
+
+        let u = StorageUri::parse("nas://mount1/ckpt").unwrap();
+        assert_eq!(u.scheme, Scheme::Nas);
+    }
+
+    #[test]
+    fn bare_path_defaults_to_file() {
+        let u = StorageUri::parse("some/relative/ckpt").unwrap();
+        assert_eq!(u.scheme, Scheme::File);
+        assert_eq!(u.key, "some/relative/ckpt");
+    }
+
+    #[test]
+    fn errors_on_unknown_scheme_and_empty_key() {
+        assert!(StorageUri::parse("s3://bucket/key").is_err());
+        assert!(StorageUri::parse("hdfs://cluster-only").is_err());
+    }
+
+    #[test]
+    fn join_builds_subkeys() {
+        let u = StorageUri::parse("hdfs://c/base").unwrap();
+        assert_eq!(u.join("model_0.bin").key, "base/model_0.bin");
+        assert_eq!(u.join("/model_0.bin").key, "base/model_0.bin");
+        assert_eq!(u.to_string(), "hdfs://c/base");
+    }
+}

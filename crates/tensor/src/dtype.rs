@@ -1,0 +1,253 @@
+//! Element types supported by the checkpoint system.
+//!
+//! The set mirrors what LFM training states actually contain: `bf16`/`f16`
+//! model weights, `f32` master weights and Adam moments, integer step
+//! counters, and byte blobs for opaque extra state.
+
+use serde::{Deserialize, Serialize};
+
+/// Numeric element type of a [`crate::Tensor`].
+///
+/// Half-precision types are carried as opaque 2-byte code units: the
+/// checkpointing system never performs arithmetic on tensor elements, it only
+/// moves bytes, so no `half` crate dependency is needed. Software conversions
+/// ([`f16_to_f32`] etc.) exist for the training substrate and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// IEEE 754 double precision.
+    F64,
+    /// IEEE 754 single precision.
+    F32,
+    /// IEEE 754 half precision (1 sign, 5 exponent, 10 mantissa bits).
+    F16,
+    /// bfloat16 (1 sign, 8 exponent, 7 mantissa bits).
+    BF16,
+    /// 64-bit signed integer.
+    I64,
+    /// 32-bit signed integer.
+    I32,
+    /// 16-bit signed integer.
+    I16,
+    /// 8-bit unsigned integer (also used for raw byte payloads).
+    U8,
+    /// Boolean stored as one byte.
+    Bool,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub const fn size(self) -> usize {
+        match self {
+            DType::F64 | DType::I64 => 8,
+            DType::F32 | DType::I32 => 4,
+            DType::F16 | DType::BF16 | DType::I16 => 2,
+            DType::U8 | DType::Bool => 1,
+        }
+    }
+
+    /// Short canonical name, used in metadata files and monitoring output.
+    pub const fn name(self) -> &'static str {
+        match self {
+            DType::F64 => "f64",
+            DType::F32 => "f32",
+            DType::F16 => "f16",
+            DType::BF16 => "bf16",
+            DType::I64 => "i64",
+            DType::I32 => "i32",
+            DType::I16 => "i16",
+            DType::U8 => "u8",
+            DType::Bool => "bool",
+        }
+    }
+
+    /// Parse the canonical name produced by [`DType::name`].
+    pub fn parse(s: &str) -> Option<DType> {
+        Some(match s {
+            "f64" => DType::F64,
+            "f32" => DType::F32,
+            "f16" => DType::F16,
+            "bf16" => DType::BF16,
+            "i64" => DType::I64,
+            "i32" => DType::I32,
+            "i16" => DType::I16,
+            "u8" => DType::U8,
+            "bool" => DType::Bool,
+            _ => return None,
+        })
+    }
+
+    /// Whether the dtype is a floating-point family member.
+    pub const fn is_float(self) -> bool {
+        matches!(self, DType::F64 | DType::F32 | DType::F16 | DType::BF16)
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Convert an `f32` to the nearest IEEE `f16` bit pattern (round-to-nearest-even).
+pub fn f32_to_f16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN: preserve a quiet NaN payload bit if any mantissa set.
+        return sign | 0x7c00 | if mant != 0 { 0x0200 } else { 0 };
+    }
+    // Re-bias exponent from 127 to 15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow -> inf
+    }
+    if unbiased >= -14 {
+        // Normal range. Round mantissa from 23 to 10 bits.
+        let mant16 = mant >> 13;
+        let round_bit = (mant >> 12) & 1;
+        let sticky = mant & 0x0fff;
+        let mut h = sign as u32 | (((unbiased + 15) as u32) << 10) | mant16;
+        if round_bit == 1 && (sticky != 0 || (mant16 & 1) == 1) {
+            h += 1; // may carry into exponent, which is the correct behaviour
+        }
+        return h as u16;
+    }
+    if unbiased >= -24 {
+        // Subnormal f16.
+        let shift = (-14 - unbiased) as u32;
+        let full = mant | 0x0080_0000; // implicit leading 1
+        let mant16 = full >> (13 + shift);
+        let rem_shift = 12 + shift;
+        let round_bit = (full >> rem_shift) & 1;
+        let sticky = full & ((1u32 << rem_shift) - 1);
+        let mut h = sign as u32 | mant16;
+        if round_bit == 1 && (sticky != 0 || (mant16 & 1) == 1) {
+            h += 1;
+        }
+        return h as u16;
+    }
+    sign // underflow to signed zero
+}
+
+/// Convert an IEEE `f16` bit pattern to `f32` (exact).
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let mant = (h & 0x03ff) as u32;
+    let bits = if exp == 0x1f {
+        sign | 0x7f80_0000 | (mant << 13) // inf / nan
+    } else if exp == 0 {
+        if mant == 0 {
+            sign // signed zero
+        } else {
+            // Subnormal: normalize.
+            let mut e = 0i32;
+            let mut m = mant;
+            while m & 0x0400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            m &= 0x03ff;
+            sign | (((127 - 15 + e + 1) as u32) << 23) | (m << 13)
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (mant << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Convert an `f32` to the nearest `bf16` bit pattern (round-to-nearest-even).
+pub fn f32_to_bf16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        return ((bits >> 16) as u16) | 0x0040; // quiet the NaN
+    }
+    let round_bit = (bits >> 15) & 1;
+    let sticky = bits & 0x7fff;
+    let mut b = bits >> 16;
+    if round_bit == 1 && (sticky != 0 || (b & 1) == 1) {
+        b += 1;
+    }
+    b as u16
+}
+
+/// Convert a `bf16` bit pattern to `f32` (exact).
+pub fn bf16_to_f32(b: u16) -> f32 {
+    f32::from_bits((b as u32) << 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_names_round_trip() {
+        let all = [
+            DType::F64,
+            DType::F32,
+            DType::F16,
+            DType::BF16,
+            DType::I64,
+            DType::I32,
+            DType::I16,
+            DType::U8,
+            DType::Bool,
+        ];
+        for dt in all {
+            assert_eq!(DType::parse(dt.name()), Some(dt));
+            assert!(dt.size() >= 1 && dt.size() <= 8);
+        }
+        assert_eq!(DType::parse("f128"), None);
+    }
+
+    #[test]
+    fn f16_round_trip_exact_values() {
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 65504.0, -65504.0, 2.0f32.powi(-14)] {
+            let h = f32_to_f16(v);
+            assert_eq!(f16_to_f32(h), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn f16_specials() {
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+        assert_eq!(f16_to_f32(f32_to_f16(f32::INFINITY)), f32::INFINITY);
+        assert_eq!(f16_to_f32(f32_to_f16(f32::NEG_INFINITY)), f32::NEG_INFINITY);
+        // Overflow saturates to infinity.
+        assert_eq!(f16_to_f32(f32_to_f16(1e10)), f32::INFINITY);
+        // Tiny values underflow to zero.
+        assert_eq!(f16_to_f32(f32_to_f16(1e-10)), 0.0);
+    }
+
+    #[test]
+    fn f16_subnormals() {
+        let smallest = 2.0f32.powi(-24);
+        assert_eq!(f16_to_f32(f32_to_f16(smallest)), smallest);
+        let sub = 3.0 * 2.0f32.powi(-24);
+        assert_eq!(f16_to_f32(f32_to_f16(sub)), sub);
+    }
+
+    #[test]
+    fn bf16_round_trip_exact_values() {
+        for v in [0.0f32, -0.0, 1.0, -2.5, 2.0f32.powi(120), 1.5 * 2.0f32.powi(-120)] {
+            let b = f32_to_bf16(v);
+            let back = bf16_to_f32(b);
+            // bf16 has ~3 decimal digits; the chosen values are exactly representable.
+            assert_eq!(back, v, "value {v}");
+        }
+        assert!(bf16_to_f32(f32_to_bf16(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn f16_rounding_is_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next f16; ties to even -> 1.0.
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(f16_to_f32(f32_to_f16(halfway)), 1.0);
+        // Slightly above halfway rounds up.
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(f16_to_f32(f32_to_f16(above)), 1.0 + 2.0f32.powi(-10));
+    }
+}

@@ -1,0 +1,104 @@
+//! Evaluation dispatch (paper Fig. 2, scenario 3) and safetensors export
+//! (Appendix F).
+//!
+//! ```text
+//! cargo run --example eval_export
+//! ```
+//!
+//! A TP×DP sharded training job checkpoints; an evaluation task then (a)
+//! loads the model states into a single worker (model-only consolidation),
+//! and (b) exports the checkpoint to the safetensors format for the
+//! Hugging Face ecosystem — both without any offline resharding job.
+
+use bytecheckpoint::core::export::{export_safetensors, parse_safetensors};
+use bytecheckpoint::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let arch = zoo::tiny_gpt();
+    let registry = Arc::new(BackendRegistry::all_memory());
+    let fw = Framework::Megatron { distributed_optimizer: true };
+    let par = Parallelism::new(2, 2, 1).unwrap();
+    let steps = 8u64;
+
+    // ---- Training job saves a sharded checkpoint. ----
+    println!("training: {} under {} on {} workers", arch.name, par.describe(), par.world_size());
+    let world = CommWorld::new(4, Backend::Flat);
+    let handles: Vec<_> = (0..4)
+        .map(|rank| {
+            let world = world.clone();
+            let registry = registry.clone();
+            let arch = arch.clone();
+            std::thread::spawn(move || {
+                let ckpt = Checkpointer::new(
+                    world.communicator(rank).unwrap(),
+                    fw,
+                    par,
+                    registry,
+                    CheckpointerOptions::default(),
+                );
+                let mut state = build_train_state(&arch, fw, par, rank, true);
+                TrainerConfig::default().run(&mut state, 0, steps);
+                ckpt.save(&SaveRequest {
+                    path: "mem://prod/eval-demo/step_8",
+                    state: &state,
+                    loader: None,
+                    extra: None,
+                    step: steps,
+                })
+                .expect("save")
+                .wait()
+                .expect("tail");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // ---- Evaluation task: a single worker pulls the model states. ----
+    println!("evaluation: loading model states into 1 worker (automatic consolidation)");
+    let eval_par = Parallelism::data_parallel(1).unwrap();
+    let eval_world = CommWorld::new(1, Backend::Flat);
+    let ckpt = Checkpointer::new(
+        eval_world.communicator(0).unwrap(),
+        Framework::Ddp,
+        eval_par,
+        registry.clone(),
+        CheckpointerOptions::default(),
+    );
+    let mut eval_state = build_train_state(&arch, Framework::Ddp, eval_par, 0, true);
+    // Evaluation only needs the model; drop the optimizer target entries.
+    eval_state.optimizer.entries.clear();
+    ckpt.load(&mut LoadRequest {
+        path: "mem://prod/eval-demo/step_8",
+        state: &mut eval_state,
+        loader_target: None,
+    })
+    .expect("load");
+    let mut want = build_train_state(&arch, Framework::Ddp, eval_par, 0, true);
+    TrainerConfig::default().run(&mut want, 0, steps);
+    for (fqn, w) in &want.model.entries {
+        assert!(eval_state.model.get(fqn).unwrap().tensor.bitwise_eq(&w.tensor), "{fqn}");
+    }
+    println!("  consolidated model verified bitwise ✓");
+
+    // ---- Safetensors export for the open-source ecosystem. ----
+    let uri = StorageUri::parse("mem://prod/eval-demo/step_8").unwrap();
+    let backend = {
+        // The registry resolves URIs internally; for direct export we grab
+        // the same backend it would use.
+        let reg = BackendRegistry::all_memory();
+        let _ = reg; // (demo keeps a single shared memory backend)
+        registry.resolve(&uri).unwrap()
+    };
+    let blob = export_safetensors(&backend, &uri.key, false).expect("export");
+    println!("exported safetensors blob: {} bytes", blob.len());
+    let tensors = parse_safetensors(&blob).expect("parse back");
+    println!("  {} tensors in the safetensors file", tensors.len());
+    let qkv = &tensors["layers.0.attn.qkv.weight"];
+    assert_eq!(qkv.shape(), &[3 * arch.hidden, arch.hidden]);
+    assert!(qkv.bitwise_eq(&want.model.get("layers.0.attn.qkv.weight").unwrap().tensor));
+    assert!(!tensors.keys().any(|k| k.starts_with("optim.")), "model-only export");
+    println!("  safetensors round-trip verified bitwise ✓");
+}

@@ -1,0 +1,119 @@
+//! Cross-stage transition (paper Fig. 2, scenario 2): a 3D-parallel
+//! Megatron-LM pre-training checkpoint is loaded — and automatically
+//! resharded — into a smaller FSDP fine-tuning job. The unified
+//! parallelism-agnostic representation also crosses *frameworks*.
+//!
+//! ```text
+//! cargo run --example pretrain_to_sft
+//! ```
+
+use bytecheckpoint::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let arch = zoo::tiny_gpt_8l();
+    let registry = Arc::new(BackendRegistry::all_memory());
+    let pretrain_steps = 15u64;
+
+    // ---- Pre-training: Megatron-LM, TP=2 × DP=2 × PP=2 on "8 GPUs". ----
+    let fw_pre = Framework::Megatron { distributed_optimizer: true };
+    let par_pre = Parallelism::new(2, 2, 2).unwrap();
+    println!(
+        "pre-training: {} under Megatron-LM {} ({} workers)",
+        arch.name,
+        par_pre.describe(),
+        par_pre.world_size()
+    );
+    {
+        let world = CommWorld::new(8, Backend::Tree { gpus_per_host: 8, branching: 4 });
+        let registry = registry.clone();
+        let arch = arch.clone();
+        let handles: Vec<_> = (0..8)
+            .map(|rank| {
+                let world = world.clone();
+                let registry = registry.clone();
+                let arch = arch.clone();
+                std::thread::spawn(move || {
+                    let ckpt = Checkpointer::new(
+                        world.communicator(rank).unwrap(),
+                        fw_pre,
+                        par_pre,
+                        registry,
+                        CheckpointerOptions::default(),
+                    );
+                    let mut state = build_train_state(&arch, fw_pre, par_pre, rank, true);
+                    TrainerConfig::default().run(&mut state, 0, pretrain_steps);
+                    ckpt.save(&SaveRequest {
+                        path: "hdfs://cluster-a/pretrain/final",
+                        state: &state,
+                        loader: None,
+                        extra: None,
+                        step: pretrain_steps,
+                    })
+                    .expect("save")
+                    .wait()
+                    .expect("tail");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+    println!("pre-training checkpoint committed at hdfs://cluster-a/pretrain/final");
+
+    // ---- Fine-tuning: FSDP ZeRO-3 on 4 workers, loading the Megatron
+    // checkpoint directly. ----
+    let fw_sft = Framework::Fsdp { zero3: true };
+    let par_sft = Parallelism::data_parallel(4).unwrap();
+    println!(
+        "fine-tuning: loading into FSDP {} ({} workers, different framework AND parallelism)",
+        par_sft.describe(),
+        par_sft.world_size()
+    );
+    let world = CommWorld::new(4, Backend::Flat);
+    let handles: Vec<_> = (0..4)
+        .map(|rank| {
+            let world = world.clone();
+            let registry = registry.clone();
+            let arch = arch.clone();
+            std::thread::spawn(move || {
+                let ckpt = Checkpointer::new(
+                    world.communicator(rank).unwrap(),
+                    fw_sft,
+                    par_sft,
+                    registry,
+                    CheckpointerOptions::default(),
+                );
+                let mut state = build_train_state(&arch, fw_sft, par_sft, rank, true);
+                ckpt.load(&mut LoadRequest {
+                    path: "hdfs://cluster-a/pretrain/final",
+                    state: &mut state,
+                    loader_target: None,
+                })
+                .expect("load-time resharding");
+                // Verify: the FSDP flat shards must equal the reference
+                // evolution of the logical tensors.
+                let mut want = build_train_state(&arch, fw_sft, par_sft, rank, true);
+                TrainerConfig::default().run(&mut want, 0, pretrain_steps);
+                for (fqn, w) in &want.model.entries {
+                    let g = state.model.get(fqn).expect("entry");
+                    assert!(g.tensor.bitwise_eq(&w.tensor), "rank {rank}: {fqn}");
+                }
+                // SFT continues from the pre-trained weights.
+                TrainerConfig { lr: 1e-3, ..TrainerConfig::default() }.run(
+                    &mut state,
+                    pretrain_steps,
+                    5,
+                );
+                rank
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    println!(
+        "Megatron(TP=2,DP=2,PP=2) -> FSDP(DP=4) reshard verified bitwise; SFT phase ran 5 steps ✓"
+    );
+}

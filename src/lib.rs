@@ -1,0 +1,96 @@
+//! # bytecheckpoint — a unified checkpointing system for LFM development
+//!
+//! A from-scratch Rust reproduction of **"ByteCheckpoint: A Unified
+//! Checkpointing System for Large Foundation Model Development"**
+//! (NSDI 2025): parallelism-agnostic checkpoint representation with
+//! automatic load-time resharding, a generic save/load workflow over
+//! multiple training frameworks and storage backends, and full-stack I/O
+//! optimizations.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bytecheckpoint::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // One in-process "training worker" (see examples/ for multi-rank jobs).
+//! let world = CommWorld::new(1, Backend::Flat);
+//! let registry = Arc::new(BackendRegistry::all_memory());
+//! let par = Parallelism::data_parallel(1).unwrap();
+//! let ckpt = Checkpointer::new(
+//!     world.communicator(0).unwrap(),
+//!     Framework::Ddp,
+//!     par,
+//!     registry,
+//!     CheckpointerOptions::default(),
+//! );
+//!
+//! // Some training state...
+//! let state = build_train_state(&zoo::tiny_gpt(), Framework::Ddp, par, 0, true);
+//!
+//! // bytecheckpoint.save(...)
+//! let ticket = ckpt
+//!     .save(&SaveRequest {
+//!         path: "mem://demo/ckpt/step_1",
+//!         state: &state,
+//!         loader: None,
+//!         extra: None,
+//!         step: 1,
+//!     })
+//!     .unwrap();
+//! println!("stall: {:?}", ticket.blocking);
+//! ticket.wait().unwrap();
+//!
+//! // bytecheckpoint.load(...) — into any parallelism; resharding is
+//! // automatic when it differs.
+//! let mut target = build_train_state(&zoo::tiny_gpt(), Framework::Ddp, par, 0, true);
+//! ckpt.load(&mut LoadRequest {
+//!     path: "mem://demo/ckpt/step_1",
+//!     state: &mut target,
+//!     loader_target: None,
+//! })
+//! .unwrap();
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`core`] | the checkpointing system: metadata, planners, engine, workflow, API |
+//! | [`tensor`] | dtypes, n-D tensors, meta tensors, checksums |
+//! | [`topology`] | 3D parallelism, device meshes, shard specs |
+//! | [`collectives`] | in-process process groups, flat/tree backends |
+//! | [`storage`] | memory / disk / simulated-HDFS / NAS backends |
+//! | [`model`] | transformer state generators, deterministic trainer |
+//! | [`dataloader`] | token-buffer dataloader with exact resume |
+//! | [`baselines`] | DCP-like, MCP-like, offline reshard jobs |
+//! | [`monitor`] | metrics, heat maps, breakdowns |
+//! | [`sim`] | paper-scale virtual-time experiments |
+
+pub use bcp_baselines as baselines;
+pub use bcp_collectives as collectives;
+pub use bcp_core as core;
+pub use bcp_dataloader as dataloader;
+pub use bcp_model as model;
+pub use bcp_monitor as monitor;
+pub use bcp_sim as sim;
+pub use bcp_storage as storage;
+pub use bcp_tensor as tensor;
+pub use bcp_topology as topology;
+
+/// The commonly used surface, one `use` away.
+pub mod prelude {
+    pub use bcp_collectives::{Backend, CommWorld, Communicator};
+    pub use bcp_core::api::{
+        Checkpointer, CheckpointerOptions, LoadOutcome, LoadRequest, SaveRequest,
+    };
+    pub use bcp_core::registry::BackendRegistry;
+    pub use bcp_core::workflow::WorkflowOptions;
+    pub use bcp_dataloader::{DataSource, Dataloader, LoaderReplicatedState, LoaderShardState};
+    pub use bcp_model::states::build_train_state;
+    pub use bcp_model::{zoo, ExtraState, Framework, TrainState, TrainerConfig};
+    pub use bcp_storage::uri::Scheme;
+    pub use bcp_storage::{DiskBackend, DynBackend, HdfsBackend, MemoryBackend, StorageUri};
+    pub use bcp_tensor::{DType, Tensor};
+    pub use bcp_topology::{Parallelism, ShardSpec};
+}

@@ -1,0 +1,107 @@
+//! End-to-end tests of the `bcpctl` CLI against real on-disk checkpoints.
+
+mod common;
+
+use bytecheckpoint::prelude::*;
+use common::{reference_state, run_ranks};
+use std::process::Command;
+use std::sync::Arc;
+
+/// Save two real checkpoints (steps 10 and 20) under `<dir>/job/step_<N>`.
+fn make_job_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("bcpctl-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let disk: DynBackend = Arc::new(DiskBackend::new(&dir).unwrap());
+    let registry = {
+        let mut reg = BackendRegistry::new();
+        reg.register(Scheme::File, disk);
+        Arc::new(reg)
+    };
+    let fw = Framework::Ddp;
+    let par = Parallelism::data_parallel(2).unwrap();
+    run_ranks(par, fw, registry, move |rank, ckpt| {
+        for step in [10u64, 20] {
+            let state = reference_state(&zoo::tiny_gpt(), fw, par, rank, step);
+            ckpt.save(&SaveRequest {
+                path: &format!("file:///job/step_{step}"),
+                state: &state,
+                loader: None,
+                extra: None,
+                step,
+            })
+            .unwrap()
+            .wait()
+            .unwrap();
+        }
+    });
+    dir
+}
+
+fn bcpctl(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bcpctl"))
+        .args(args)
+        .output()
+        .expect("bcpctl runs");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn list_inspect_verify_export_retain() {
+    let dir = make_job_dir();
+    let job = dir.join("job");
+    let job_s = job.to_string_lossy().to_string();
+
+    // list: both steps committed, latest = 20.
+    let (ok, text) = bcpctl(&["list", &job_s]);
+    assert!(ok, "{text}");
+    assert!(text.contains("latest committed: step 20"), "{text}");
+    assert_eq!(text.matches("committed").count(), 3, "{text}"); // 2 rows + summary
+
+    // inspect: framework and shard counts.
+    let step20 = job.join("step_20").to_string_lossy().to_string();
+    let (ok, text) = bcpctl(&["inspect", &step20]);
+    assert!(ok, "{text}");
+    assert!(text.contains("framework    ddp"), "{text}");
+    assert!(text.contains("largest tensors"), "{text}");
+
+    // verify: all CRCs good.
+    let (ok, text) = bcpctl(&["verify", &step20]);
+    assert!(ok, "{text}");
+    assert!(text.contains("all CRCs verified"), "{text}");
+
+    // verify catches corruption.
+    let victim = job.join("step_10/model_0.bin");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&victim, bytes).unwrap();
+    let step10 = job.join("step_10").to_string_lossy().to_string();
+    let (ok, text) = bcpctl(&["verify", &step10]);
+    assert!(!ok, "corrupted checkpoint must fail verify: {text}");
+
+    // export: a parseable safetensors file.
+    let out_file = dir.join("model.safetensors").to_string_lossy().to_string();
+    let (ok, text) = bcpctl(&["export", &step20, &out_file]);
+    assert!(ok, "{text}");
+    let blob = bytes::Bytes::from(std::fs::read(&out_file).unwrap());
+    let tensors = bytecheckpoint::core::export::parse_safetensors(&blob).unwrap();
+    assert!(tensors.contains_key("layers.0.attn.qkv.weight"));
+
+    // retain 1: step 10 (older) is deleted, step 20 stays.
+    let (ok, text) = bcpctl(&["retain", &job_s, "1"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("deleted steps: [10]"), "{text}");
+    assert!(!job.join("step_10").join("COMPLETE").exists());
+    assert!(job.join("step_20").join("COMPLETE").exists());
+
+    // bad usage exits non-zero.
+    let (ok, _) = bcpctl(&["frobnicate"]);
+    assert!(!ok);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
