@@ -23,7 +23,6 @@ use bcp_core::registry::BackendRegistry;
 use bcp_model::states::{StateDict, StateEntry};
 use bcp_model::{Framework, TrainState};
 use bcp_monitor::MetricsSink;
-use bcp_storage::StorageUri;
 use bcp_tensor::Tensor;
 use bcp_topology::ShardSpec;
 use bytes::{Bytes, BytesMut};
@@ -173,8 +172,8 @@ impl DcpLike {
     /// Save with DCP semantics: synchronous all-gather regularization, then
     /// the baseline workflow.
     pub fn save(&self, req: &SaveRequest<'_>) -> Result<DcpSaveOutcome> {
-        let uri = StorageUri::parse(req.path)?;
-        let backend = self.registry.resolve(&uri)?;
+        let uri = req.location.uri();
+        let backend = self.registry.resolve(uri)?;
         let t0 = Instant::now();
         let (model, s1) = allgather_materialize(&self.ctx.comm, &req.state.model)?;
         let (optimizer, s2) = allgather_materialize(&self.ctx.comm, &req.state.optimizer)?;
@@ -204,8 +203,8 @@ impl DcpLike {
     /// Resharding across saved/target parallelism still works: the saved
     /// format is box-addressed like ByteCheckpoint's.
     pub fn load(&self, req: &mut LoadRequest<'_>) -> Result<LoadOutcome> {
-        let uri = StorageUri::parse(req.path)?;
-        let backend = self.registry.resolve(&uri)?;
+        let uri = req.location.uri();
+        let backend = self.registry.resolve(uri)?;
         let options = baseline_workflow_options();
         let report = load_checkpoint(
             &self.ctx,
@@ -290,25 +289,12 @@ mod tests {
                 let dcp = DcpLike::new(comm, fw, par, reg, MetricsSink::disabled()).unwrap();
                 let mut state = build_train_state(&zoo::tiny_gpt(), fw, par, rank, true);
                 TrainerConfig::default().run(&mut state, 0, 2);
-                let out = dcp
-                    .save(&SaveRequest {
-                        path: "mem://x/dcp",
-                        state: &state,
-                        loader: None,
-                        extra: None,
-                        step: 2,
-                    })
-                    .unwrap();
+                let out = dcp.save(&SaveRequest::new("mem://x/dcp", &state, 2)).unwrap();
                 assert!(out.allgather.comm_bytes > 0, "DCP must pay communication");
                 out.ticket.wait().unwrap();
                 // Load back into the original (flat) sharding.
                 let mut fresh = build_train_state(&zoo::tiny_gpt(), fw, par, rank, true);
-                dcp.load(&mut LoadRequest {
-                    path: "mem://x/dcp",
-                    state: &mut fresh,
-                    loader_target: None,
-                })
-                .unwrap();
+                dcp.load(&mut LoadRequest::new("mem://x/dcp", &mut fresh)).unwrap();
                 let mut want = build_train_state(&zoo::tiny_gpt(), fw, par, rank, true);
                 TrainerConfig::default().run(&mut want, 0, 2);
                 for (fqn, w) in &want.model.entries {

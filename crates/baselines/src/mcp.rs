@@ -17,7 +17,6 @@ use bcp_core::workflow::{load_checkpoint, save_checkpoint, JobContext, SaveArgs,
 use bcp_core::{BcpError, Result};
 use bcp_model::Framework;
 use bcp_monitor::MetricsSink;
-use bcp_storage::StorageUri;
 use std::sync::Arc;
 
 /// An MCP-like checkpointer for Megatron-LM jobs.
@@ -55,8 +54,8 @@ impl McpLike {
     /// Save with MCP semantics (baseline workflow options; no regularization
     /// pass needed — Megatron's sharded representation is stored as-is).
     pub fn save(&self, req: &SaveRequest<'_>) -> Result<SaveTicket> {
-        let uri = StorageUri::parse(req.path)?;
-        let backend = self.registry.resolve(&uri)?;
+        let uri = req.location.uri();
+        let backend = self.registry.resolve(uri)?;
         save_checkpoint(
             &self.ctx,
             backend,
@@ -72,8 +71,8 @@ impl McpLike {
 
     /// Load with MCP semantics.
     pub fn load(&self, req: &mut LoadRequest<'_>) -> Result<LoadOutcome> {
-        let uri = StorageUri::parse(req.path)?;
-        let backend = self.registry.resolve(&uri)?;
+        let uri = req.location.uri();
+        let backend = self.registry.resolve(uri)?;
         let report = load_checkpoint(
             &self.ctx,
             backend,
@@ -116,23 +115,9 @@ mod tests {
                 let mcp = McpLike::new(comm, fw, par, reg, MetricsSink::disabled()).unwrap();
                 let mut state = build_train_state(&zoo::tiny_gpt(), fw, par, rank, true);
                 TrainerConfig::default().run(&mut state, 0, 2);
-                mcp.save(&SaveRequest {
-                    path: "mem://x/mcp",
-                    state: &state,
-                    loader: None,
-                    extra: None,
-                    step: 2,
-                })
-                .unwrap()
-                .wait()
-                .unwrap();
+                mcp.save(&SaveRequest::new("mem://x/mcp", &state, 2)).unwrap().wait().unwrap();
                 let mut fresh = build_train_state(&zoo::tiny_gpt(), fw, par, rank, true);
-                mcp.load(&mut LoadRequest {
-                    path: "mem://x/mcp",
-                    state: &mut fresh,
-                    loader_target: None,
-                })
-                .unwrap();
+                mcp.load(&mut LoadRequest::new("mem://x/mcp", &mut fresh)).unwrap();
                 let mut want = build_train_state(&zoo::tiny_gpt(), fw, par, rank, true);
                 TrainerConfig::default().run(&mut want, 0, 2);
                 for (fqn, w) in want.optimizer.entries.iter() {
@@ -177,16 +162,10 @@ mod tests {
         let mcp = McpLike::new(comm, fw, par, reg, MetricsSink::disabled()).unwrap();
         let state = build_train_state(&zoo::tiny_gpt(), fw, par, 0, true);
         for step in 0..3 {
-            mcp.save(&SaveRequest {
-                path: &format!("mem://x/replan/{step}"),
-                state: &state,
-                loader: None,
-                extra: None,
-                step,
-            })
-            .unwrap()
-            .wait()
-            .unwrap();
+            mcp.save(&SaveRequest::new(format!("mem://x/replan/{step}"), &state, step))
+                .unwrap()
+                .wait()
+                .unwrap();
         }
         // plan_cache=false: the cache sees no traffic at all.
         assert_eq!(mcp.cache.stats(), (0, 0));

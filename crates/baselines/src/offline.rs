@@ -90,7 +90,8 @@ pub fn run_offline_reshard_job(
     for (rank, state) in states.iter().enumerate() {
         let plan = local_save_plan(rank, state, "offline-job");
         uploaded += plan.total_bytes();
-        execute_save(&plan, state, backend.clone(), dst_prefix, &pool, &sink, log.clone(), &cfg, meta.step)?
+        let faults = bcp_core::fault::FaultHook::inert(rank);
+        execute_save(&plan, state, backend.clone(), dst_prefix, &pool, &sink, log.clone(), &cfg, meta.step, &faults)?
             .wait()?;
         plans.push(plan);
     }
@@ -148,7 +149,8 @@ mod tests {
             let mut state = build_train_state(arch, fw, par, rank, true);
             TrainerConfig::default().run(&mut state, 0, steps);
             let plan = lsp(rank, &state, "cpu");
-            execute_save(&plan, &state, backend.clone(), prefix, &pool, &sink, log.clone(), &cfg, steps)
+            let faults = bcp_core::fault::FaultHook::inert(rank);
+            execute_save(&plan, &state, backend.clone(), prefix, &pool, &sink, log.clone(), &cfg, steps, &faults)
                 .unwrap()
                 .wait()
                 .unwrap();

@@ -68,6 +68,7 @@ fn bench_save_pipeline(c: &mut Criterion) {
                 log,
                 &SaveConfig { async_upload: false, ..Default::default() },
                 0,
+                &bcp_core::fault::FaultHook::inert(0),
             )
             .unwrap()
             .wait()

@@ -89,14 +89,13 @@ pub fn fig11_fig12() -> (String, String) {
             None
         };
         let extra = ExtraState::new(1000 + rank as u64);
-        ckpt.save(&SaveRequest {
-            path: "hdfs://sim/fig11/step_100",
-            state: &state,
-            loader: loader.as_ref().map(|(r, s)| (r, s)),
-            extra: Some(&extra),
-            step: 100,
-        })
-        .expect("save")
+        let mut req =
+            SaveRequest::new("hdfs://sim/fig11/step_100", &state, 100).with_extra(&extra);
+        if let Some((r, s)) = loader.as_ref() {
+            req = req.with_loader(r, s);
+        }
+        ckpt.save(&req)
+            .expect("save")
         .wait()
         .expect("save tail");
     });
@@ -142,14 +141,8 @@ pub fn reshard_loss_curve(
         WorkflowOptions::default(),
         move |rank, ckpt| {
             let state = reference_state(&arch2, fw_a, par_a, rank, switch_step);
-            ckpt.save(&SaveRequest {
-                path: "mem://fig/reshard",
-                state: &state,
-                loader: None,
-                extra: None,
-                step: switch_step,
-            })
-            .expect("save")
+            ckpt.save(&SaveRequest::new("mem://fig/reshard", &state, switch_step))
+                .expect("save")
             .wait()
             .expect("tail");
         },
@@ -164,12 +157,7 @@ pub fn reshard_loss_curve(
         WorkflowOptions::default(),
         move |rank, ckpt| {
             let mut state = build_train_state(&arch2, fw_b, par_b, rank, true);
-            ckpt.load(&mut LoadRequest {
-                path: "mem://fig/reshard",
-                state: &mut state,
-                loader_target: None,
-            })
-            .expect("load");
+            ckpt.load(&mut LoadRequest::new("mem://fig/reshard", &mut state)).expect("load");
             let want = reference_state(&arch2, fw_b, par_b, rank, switch_step);
             verify_bitwise(&state, &want, rank);
             // Continue training from the resumed step.
@@ -268,11 +256,7 @@ pub fn fig14() -> String {
                 } else {
                     let mut s = build_train_state(&arch2, fw, par, rank, true);
                     let out = ckpt
-                        .load(&mut LoadRequest {
-                            path: &format!("mem://fig14/step_{from}"),
-                            state: &mut s,
-                            loader_target: None,
-                        })
+                        .load(&mut LoadRequest::new(format!("mem://fig14/step_{from}"), &mut s))
                         .expect("load");
                     // Bitwise check against an uninterrupted run.
                     let want = reference_state(&arch2, fw, par, rank, from);
@@ -283,13 +267,10 @@ pub fn fig14() -> String {
                 TrainerConfig::default().run(&mut state, from, to - from);
                 let mut extra = ExtraState::new(7);
                 extra.step = to;
-                ckpt.save(&SaveRequest {
-                    path: &format!("mem://fig14/step_{to}"),
-                    state: &state,
-                    loader: None,
-                    extra: Some(&extra),
-                    step: to,
-                })
+                ckpt.save(
+                    &SaveRequest::new(format!("mem://fig14/step_{to}"), &state, to)
+                        .with_extra(&extra),
+                )
                 .expect("save")
                 .wait()
                 .expect("tail");

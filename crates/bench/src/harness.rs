@@ -3,7 +3,7 @@
 //! backend registry, run a closure, join.
 
 use bcp_collectives::{Backend, CommWorld};
-use bcp_core::api::{Checkpointer, CheckpointerOptions};
+use bcp_core::api::Checkpointer;
 use bcp_core::registry::BackendRegistry;
 use bcp_core::workflow::WorkflowOptions;
 use bcp_model::Framework;
@@ -59,13 +59,14 @@ where
         let f = f.clone();
         handles.push(std::thread::spawn(move || {
             let comm = comm_world.communicator(rank).expect("rank in world");
-            let ckpt = Checkpointer::new(
-                comm,
-                fw,
-                par,
-                registry,
-                CheckpointerOptions { workflow: options, sink },
-            );
+            let ckpt = Checkpointer::builder(comm)
+                .framework(fw)
+                .parallelism(par)
+                .registry(registry)
+                .workflow(options)
+                .sink(sink)
+                .build()
+                .expect("harness checkpointer");
             f(rank, ckpt)
         }));
     }

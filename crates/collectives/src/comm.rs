@@ -147,6 +147,15 @@ impl Communicator {
         self.members.iter().position(|&r| r == self.rank).expect("member")
     }
 
+    /// Mark THIS rank as failed in the world's rendezvous, making every
+    /// in-flight and future collective involving it abort with
+    /// `PeerFailed` on the surviving ranks. Fault-injection hooks call this
+    /// when a simulated crash fires, so a "dead" worker's peers unblock
+    /// deterministically instead of waiting out the timeout.
+    pub fn mark_self_failed(&self) {
+        self.world.inject_failure(self.rank);
+    }
+
     /// Derive a communicator over a subset of the world's ranks. The calling
     /// rank must be in `ranks`. All members must derive the subgroup before
     /// using it (no registration step is needed — groups are identified by

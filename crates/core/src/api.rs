@@ -10,26 +10,36 @@
 //! "This high-level entrypoint abstracts underlying system complexities,
 //! such as sharding specification, save/reshard plan generation, and I/O
 //! operations."
+//!
+//! Construction goes through [`Checkpointer::builder`]; checkpoint
+//! addresses are typed [`CheckpointLocation`]s (built from `&str`, `String`
+//! or `StorageUri` via `Into`), so a malformed URI fails at request
+//! construction rather than mid-save. After a crash,
+//! [`Checkpointer::load_latest`] garbage-collects torn steps under a root
+//! and resumes from the newest committed one.
 
 use crate::engine::pool::PinnedPool;
-use crate::integrity::FailureLog;
+use crate::fault::FaultPlan;
+use crate::integrity::{FailureLog, RetryPolicy};
 use crate::loader_reshard::load_loader_states;
+use crate::manager::CheckpointManager;
 use crate::planner::cache::PlanCache;
 use crate::registry::BackendRegistry;
 use crate::workflow::{
     load_checkpoint, save_checkpoint, JobContext, LoadReport, SaveArgs, SaveTicket,
     WorkflowOptions,
 };
-use crate::Result;
+use crate::{BcpError, Result};
 use bcp_collectives::Communicator;
 use bcp_dataloader::{LoaderReplicatedState, LoaderShardState};
 use bcp_model::{ExtraState, Framework, TrainState};
 use bcp_monitor::MetricsSink;
-use bcp_storage::StorageUri;
+use bcp_storage::CheckpointLocation;
 use bcp_topology::Parallelism;
 use std::sync::Arc;
 
-/// Construction-time options for a [`Checkpointer`].
+/// Construction-time options for a [`Checkpointer`] (legacy constructor
+/// path; prefer [`Checkpointer::builder`]).
 pub struct CheckpointerOptions {
     /// Workflow and engine tuning (defaults = all optimizations on).
     pub workflow: WorkflowOptions,
@@ -45,8 +55,8 @@ impl Default for CheckpointerOptions {
 
 /// A save request: what to checkpoint and where.
 pub struct SaveRequest<'a> {
-    /// Checkpoint URI, e.g. `hdfs://cluster/ckpts/job1/step_500`.
-    pub path: &'a str,
+    /// Checkpoint location, e.g. `"hdfs://cluster/ckpts/job1/step_500".into()`.
+    pub location: CheckpointLocation,
     /// GPU states (model + optimizer dicts).
     pub state: &'a TrainState,
     /// Dataloader states (only ranks holding dataloader state pass these).
@@ -57,17 +67,66 @@ pub struct SaveRequest<'a> {
     pub step: u64,
 }
 
+impl<'a> SaveRequest<'a> {
+    /// A request with no dataloader or extra state.
+    pub fn new(
+        location: impl Into<CheckpointLocation>,
+        state: &'a TrainState,
+        step: u64,
+    ) -> SaveRequest<'a> {
+        SaveRequest { location: location.into(), state, loader: None, extra: None, step }
+    }
+
+    /// Attach dataloader states (ranks that hold a dataloader shard).
+    pub fn with_loader(
+        mut self,
+        replicated: &'a LoaderReplicatedState,
+        shard: &'a LoaderShardState,
+    ) -> SaveRequest<'a> {
+        self.loader = Some((replicated, shard));
+        self
+    }
+
+    /// Attach extra CPU state.
+    pub fn with_extra(mut self, extra: &'a ExtraState) -> SaveRequest<'a> {
+        self.extra = Some(extra);
+        self
+    }
+}
+
 /// A load request: the target states to fill. The state dict's sharding
 /// specs define the *target* parallelism; resharding happens automatically
 /// when it differs from the source.
 pub struct LoadRequest<'a> {
-    /// Checkpoint URI to load.
-    pub path: &'a str,
+    /// Checkpoint location to load.
+    pub location: CheckpointLocation,
     /// Target state; tensor values are replaced in place.
     pub state: &'a mut TrainState,
     /// Request dataloader states resharded to this (dp_size,
     /// workers_per_rank, my_dp_rank), when the caller drives a dataloader.
     pub loader_target: Option<(usize, usize, usize)>,
+}
+
+impl<'a> LoadRequest<'a> {
+    /// A request with no dataloader target.
+    pub fn new(
+        location: impl Into<CheckpointLocation>,
+        state: &'a mut TrainState,
+    ) -> LoadRequest<'a> {
+        LoadRequest { location: location.into(), state, loader_target: None }
+    }
+
+    /// Request dataloader states resharded to `(dp_size, workers_per_rank,
+    /// my_dp_rank)`.
+    pub fn with_loader_target(
+        mut self,
+        dp_size: usize,
+        workers_per_rank: usize,
+        my_dp_rank: usize,
+    ) -> LoadRequest<'a> {
+        self.loader_target = Some((dp_size, workers_per_rank, my_dp_rank));
+        self
+    }
 }
 
 /// What a load returns.
@@ -76,6 +135,121 @@ pub struct LoadOutcome {
     pub report: LoadReport,
     /// Resharded dataloader states, when requested and present.
     pub loader: Option<(LoaderReplicatedState, LoaderShardState)>,
+}
+
+impl LoadOutcome {
+    /// The global step the loaded checkpoint was saved at — where training
+    /// resumes from.
+    pub fn resumed_step(&self) -> u64 {
+        self.report.metadata.step
+    }
+}
+
+/// Builder for [`Checkpointer`] — the supported construction path.
+///
+/// ```no_run
+/// # use bcp_core::{Checkpointer, BackendRegistry};
+/// # use bcp_core::integrity::RetryPolicy;
+/// # use bcp_model::Framework;
+/// # use bcp_topology::Parallelism;
+/// # use std::sync::Arc;
+/// # use std::time::Duration;
+/// # fn demo(comm: bcp_collectives::Communicator) -> bcp_core::Result<()> {
+/// let ckpt = Checkpointer::builder(comm)
+///     .framework(Framework::Ddp)
+///     .parallelism(Parallelism::data_parallel(4).unwrap())
+///     .registry(Arc::new(BackendRegistry::all_memory()))
+///     .retry_policy(RetryPolicy::exponential(5, Duration::from_millis(20)))
+///     .build()?;
+/// # Ok(()) }
+/// ```
+pub struct CheckpointerBuilder {
+    comm: Communicator,
+    framework: Option<Framework>,
+    parallelism: Option<Parallelism>,
+    registry: Option<Arc<BackendRegistry>>,
+    workflow: WorkflowOptions,
+    sink: MetricsSink,
+}
+
+impl CheckpointerBuilder {
+    fn new(comm: Communicator) -> CheckpointerBuilder {
+        CheckpointerBuilder {
+            comm,
+            framework: None,
+            parallelism: None,
+            registry: None,
+            workflow: WorkflowOptions::default(),
+            sink: MetricsSink::disabled(),
+        }
+    }
+
+    /// Training framework whose planner interprets the state dicts
+    /// (required).
+    pub fn framework(mut self, framework: Framework) -> CheckpointerBuilder {
+        self.framework = Some(framework);
+        self
+    }
+
+    /// Current parallelism configuration (required).
+    pub fn parallelism(mut self, parallelism: Parallelism) -> CheckpointerBuilder {
+        self.parallelism = Some(parallelism);
+        self
+    }
+
+    /// URI-scheme → backend registry (required).
+    pub fn registry(mut self, registry: Arc<BackendRegistry>) -> CheckpointerBuilder {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Replace the whole workflow/engine option block (defaults = all
+    /// optimizations on).
+    pub fn workflow(mut self, workflow: WorkflowOptions) -> CheckpointerBuilder {
+        self.workflow = workflow;
+        self
+    }
+
+    /// Retry policy for every storage operation of both pipelines.
+    pub fn retry_policy(mut self, retries: RetryPolicy) -> CheckpointerBuilder {
+        self.workflow.save.retries = retries;
+        self.workflow.load.retries = retries;
+        self
+    }
+
+    /// Injected crash schedule (recovery tests only).
+    pub fn fault_plan(mut self, faults: FaultPlan) -> CheckpointerBuilder {
+        self.workflow.faults = faults;
+        self
+    }
+
+    /// Metrics destination (defaults to disabled).
+    pub fn sink(mut self, sink: MetricsSink) -> CheckpointerBuilder {
+        self.sink = sink;
+        self
+    }
+
+    /// Build, failing with [`BcpError::Plan`] if a required field is unset.
+    pub fn build(self) -> Result<Checkpointer> {
+        let framework = self
+            .framework
+            .ok_or_else(|| BcpError::Plan("Checkpointer::builder: framework is required".into()))?;
+        let parallelism = self.parallelism.ok_or_else(|| {
+            BcpError::Plan("Checkpointer::builder: parallelism is required".into())
+        })?;
+        let registry = self
+            .registry
+            .ok_or_else(|| BcpError::Plan("Checkpointer::builder: registry is required".into()))?;
+        Ok(Checkpointer {
+            ctx: JobContext { comm: self.comm, framework, parallelism },
+            registry,
+            options: self.workflow,
+            sink: self.sink,
+            cache: Arc::new(PlanCache::new()),
+            pool: PinnedPool::new(2),
+            failures: Arc::new(FailureLog::new()),
+        })
+    }
 }
 
 /// Per-worker checkpointing handle: the Rust shape of the paper's
@@ -91,7 +265,13 @@ pub struct Checkpointer {
 }
 
 impl Checkpointer {
-    /// Build a checkpointer for this worker.
+    /// Start building a checkpointer for this worker.
+    pub fn builder(comm: Communicator) -> CheckpointerBuilder {
+        CheckpointerBuilder::new(comm)
+    }
+
+    /// Build a checkpointer from positional arguments.
+    #[deprecated(since = "0.2.0", note = "use Checkpointer::builder(comm)...build()")]
     pub fn new(
         comm: Communicator,
         framework: Framework,
@@ -125,12 +305,13 @@ impl Checkpointer {
         self.cache.stats()
     }
 
-    /// `bytecheckpoint.save`: checkpoint the given states under `path`.
-    /// Returns a ticket whose `blocking` is the checkpoint stall; `wait()`
-    /// joins the asynchronous tail (upload, barrier, commit).
+    /// `bytecheckpoint.save`: checkpoint the given states under the
+    /// request's location. Returns a ticket whose `blocking` is the
+    /// checkpoint stall; `wait()` joins the asynchronous tail (upload,
+    /// barrier, commit).
     pub fn save(&self, req: &SaveRequest<'_>) -> Result<SaveTicket> {
-        let uri = StorageUri::parse(req.path)?;
-        let backend = self.registry.resolve(&uri)?;
+        let uri = req.location.uri();
+        let backend = self.registry.resolve(uri)?;
         save_checkpoint(
             &self.ctx,
             backend,
@@ -144,10 +325,11 @@ impl Checkpointer {
         )
     }
 
-    /// `bytecheckpoint.load`: fill the request's target states from `path`,
-    /// resharding automatically when the parallelism changed.
+    /// `bytecheckpoint.load`: fill the request's target states from the
+    /// request's location, resharding automatically when the parallelism
+    /// changed.
     pub fn load(&self, req: &mut LoadRequest<'_>) -> Result<LoadOutcome> {
-        let uri = StorageUri::parse(req.path)?;
+        let uri = req.location.uri().clone();
         let backend = self.registry.resolve(&uri)?;
         let report = load_checkpoint(
             &self.ctx,
@@ -166,5 +348,40 @@ impl Checkpointer {
             None => None,
         };
         Ok(LoadOutcome { report, loader })
+    }
+
+    /// One-call crash recovery: under `root` (a job's checkpoint root
+    /// holding `step_<N>` prefixes), garbage-collect torn steps, discover
+    /// the newest committed one, and load it into `state`. Returns
+    /// `Ok(None)` when no committed checkpoint exists (fresh start).
+    ///
+    /// The coordinator alone GCs and picks the step (so the decision is
+    /// consistent even while torn prefixes are mid-deletion) and broadcasts
+    /// it; every rank then runs the normal load workflow. The resumed step
+    /// is available as [`LoadOutcome::resumed_step`].
+    pub fn load_latest(
+        &self,
+        root: impl Into<CheckpointLocation>,
+        state: &mut TrainState,
+        loader_target: Option<(usize, usize, usize)>,
+    ) -> Result<Option<LoadOutcome>> {
+        let root: CheckpointLocation = root.into();
+        let backend = self.registry.resolve(root.uri())?;
+        let coordinator = self.ctx.coordinator();
+        let chosen: Option<u64> = if self.ctx.rank() == coordinator {
+            let mgr = CheckpointManager::new(backend.clone(), root.uri().key.clone());
+            mgr.gc_torn()?;
+            let latest = mgr.latest()?.map(|c| c.step);
+            self.ctx.comm.broadcast(coordinator, Some(latest))?
+        } else {
+            self.ctx.comm.broadcast(coordinator, None)?
+        };
+        let Some(step) = chosen else { return Ok(None) };
+        let mut req = LoadRequest {
+            location: root.join(&format!("step_{step}")),
+            state,
+            loader_target,
+        };
+        self.load(&mut req).map(Some)
     }
 }

@@ -3,6 +3,7 @@
 //! redundancy-eliminated reads.
 
 use crate::engine::{extract_isect, Assembler};
+use crate::fault::FaultHook;
 use crate::integrity::{with_retries, FailureLog, RetryPolicy};
 use crate::plan::ReadItem;
 use crate::planner::balance::AssignedLoadPlan;
@@ -145,12 +146,14 @@ pub fn execute_load(
     log: Arc<FailureLog>,
     cfg: &LoadConfig,
     step: u64,
+    faults: &FaultHook,
 ) -> Result<LoadStats> {
     let rank = assigned.rank;
     let started = Instant::now();
     let mut fetched_bytes = 0u64;
 
     // ---- Read phase (+ extraction, pipelined per item). ----
+    faults.check("load/read")?;
     let mut local_payloads: Vec<(usize, Bytes)> = Vec::with_capacity(assigned.reads.len());
     {
         let mut t = sink.timer("load/read", rank, step);

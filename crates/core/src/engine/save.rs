@@ -7,6 +7,7 @@
 //! serialization, and file uploading operations".
 
 use crate::engine::pool::PinnedPool;
+use crate::fault::FaultHook;
 use crate::format::encode_frame;
 use crate::integrity::{with_retries, FailureLog, RetryPolicy};
 use crate::plan::SavePlan;
@@ -101,11 +102,13 @@ pub fn execute_save(
     log: Arc<FailureLog>,
     cfg: &SaveConfig,
     step: u64,
+    faults: &FaultHook,
 ) -> Result<SaveHandle> {
     let rank = plan.rank;
     let started = Instant::now();
 
     // ---- Phase 1 (blocking): D2H capture into the pinned pool. ----
+    faults.check("save/capture")?;
     let capture_timer = Instant::now();
     let mut captured: Vec<Bytes> = Vec::with_capacity(plan.items.len());
     {
@@ -142,8 +145,10 @@ pub fn execute_save(
     let prefix = prefix.to_string();
     let sink = sink.clone();
     let cfg2 = cfg.clone();
+    let faults = faults.clone();
     let pipeline = move || -> Result<(u64, usize)> {
         // Serialize frames per file, in plan order.
+        faults.check("save/serialize")?;
         let expected = plan.byte_metas();
         let mut files: BTreeMap<String, BytesMut> = BTreeMap::new();
         {
@@ -166,6 +171,7 @@ pub fn execute_save(
             files.into_iter().map(|(f, b)| (f, b.freeze())).collect()
         };
         // Upload, splitting large files into concurrently-written parts.
+        faults.check("save/upload")?;
         let mut total = 0u64;
         let nfiles = staged.len();
         {
@@ -280,6 +286,7 @@ mod tests {
             log,
             &SaveConfig { async_upload: false, ..Default::default() },
             0,
+            &FaultHook::inert(0),
         )
         .unwrap();
         let stats = handle.wait().unwrap();
@@ -331,6 +338,7 @@ mod tests {
         let handle = execute_save(
             &plan, &state, slow, "ckpt", &pool, &sink, log,
             &SaveConfig { async_upload: true, ..Default::default() }, 0,
+            &FaultHook::inert(0),
         )
         .unwrap();
         let blocking = handle.blocking();
@@ -354,10 +362,21 @@ mod tests {
             split_parts: 4,
             ..Default::default()
         };
-        execute_save(&plan, &state, backend.clone(), "ckpt", &pool, &sink, log, &cfg, 0)
-            .unwrap()
-            .wait()
-            .unwrap();
+        execute_save(
+            &plan,
+            &state,
+            backend.clone(),
+            "ckpt",
+            &pool,
+            &sink,
+            log,
+            &cfg,
+            0,
+            &FaultHook::inert(0),
+        )
+        .unwrap()
+        .wait()
+        .unwrap();
         // No stray part files; whole file decodes.
         let listing = backend.list("ckpt/").unwrap();
         assert!(listing.iter().all(|f| !f.contains(".part")), "{listing:?}");
@@ -379,6 +398,7 @@ mod tests {
         let handle = execute_save(
             &plan, &state, flaky, "ckpt", &pool, &sink, log.clone(),
             &SaveConfig { async_upload: false, ..Default::default() }, 0,
+            &FaultHook::inert(0),
         )
         .unwrap();
         assert!(handle.wait().is_ok());

@@ -1,24 +1,36 @@
-//! Integrity guarantee: retries, failure logging, and the commit protocol
-//! (Appendix B).
+//! Integrity guarantee: retry policies, failure logging, failover
+//! accounting, and the commit protocol (Appendix B).
 //!
 //! "A complete checkpoint consists of multiple files stored by different
 //! workers. The failure of any single worker can corrupt the entire
 //! checkpoint." The protections:
 //!
-//! * Upload/download **retries** with failure logging "which records the
-//!   exact stage of failure within the checkpoint saving/loading pipelines".
+//! * Upload/download **retries** under a configurable [`RetryPolicy`] —
+//!   exponential backoff with deterministic jitter, an attempt cap, and an
+//!   optional overall deadline — with failure logging "which records the
+//!   exact stage of failure within the checkpoint saving/loading
+//!   pipelines". Retries sleep through a [`RetryClock`] so tests can verify
+//!   the exact backoff schedule on a virtual clock ([`TestClock`]).
+//! * **Failover accounting**: when a [`FallbackBackend`] trips over to its
+//!   secondary tier after retry exhaustion, [`record_failovers`] routes the
+//!   downgrade into the [`FailureLog`] and the `MetricsSink` so operators
+//!   see the degradation, not just the eventual success.
 //! * An **asynchronous tree-based barrier** (provided by
 //!   `bcp-collectives`' tree backend) after which the coordinator commits
 //!   the checkpoint by writing the global metadata file and a `COMPLETE`
 //!   marker. Loads refuse checkpoints without the marker, so a torn save is
-//!   never observed as a valid checkpoint.
+//!   never observed as a valid checkpoint; `CheckpointManager::gc_torn`
+//!   reclaims the partial files on restart.
 
 use crate::metadata::COMPLETE_MARKER;
 use crate::{BcpError, Result};
+use bcp_monitor::{MetricRecord, MetricsSink};
+use bcp_storage::fallback::FallbackBackend;
 use bcp_storage::{DynBackend, StorageError};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One logged failure inside a checkpoint pipeline.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -70,24 +82,204 @@ impl FailureLog {
     }
 }
 
-/// Retry policy for storage operations.
-#[derive(Debug, Clone, Copy)]
+/// Retry policy for storage operations: exponential backoff with
+/// deterministic jitter, capped attempts, and an optional overall deadline.
+///
+/// The wait before retry `k` (1-based) is
+/// `min(base * multiplier^(k-1), max_backoff)`, scaled down by up to
+/// `jitter` (a fraction in `[0, 1]`) using a hash of `(rank, stage, path,
+/// attempt)` — deterministic per call site, de-correlated across ranks so a
+/// thundering herd of retries spreads out.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
     /// Maximum attempts (1 = no retry).
     pub max_attempts: u32,
-    /// Base backoff; attempt `k` waits `base * k`.
-    pub backoff: Duration,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Growth factor applied per retry (1.0 = fixed delay).
+    pub multiplier: f64,
+    /// Upper bound on any single backoff.
+    pub max_backoff: Duration,
+    /// Fraction of each backoff randomized away (0.0 = fully deterministic).
+    pub jitter: f64,
+    /// Overall budget: give up early if the next backoff would exceed it.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for RetryPolicy {
     fn default() -> RetryPolicy {
-        RetryPolicy { max_attempts: 3, backoff: Duration::from_millis(10) }
+        RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(10),
+            multiplier: 2.0,
+            max_backoff: Duration::from_secs(1),
+            jitter: 0.25,
+            deadline: None,
+        }
     }
 }
 
-/// Run a storage operation under the retry policy, logging every failure
-/// with its pipeline stage.
+impl RetryPolicy {
+    /// No retries: fail on the first error.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// Fixed delay between attempts (the seed's original behaviour).
+    pub fn fixed(max_attempts: u32, delay: Duration) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base: delay,
+            multiplier: 1.0,
+            max_backoff: delay,
+            jitter: 0.0,
+            deadline: None,
+        }
+    }
+
+    /// Exponential backoff doubling from `base`, default cap and jitter.
+    pub fn exponential(max_attempts: u32, base: Duration) -> RetryPolicy {
+        RetryPolicy { max_attempts, base, ..RetryPolicy::default() }
+    }
+
+    /// Same policy with an overall deadline.
+    pub fn with_deadline(self, deadline: Duration) -> RetryPolicy {
+        RetryPolicy { deadline: Some(deadline), ..self }
+    }
+
+    /// Same policy with a different jitter fraction (clamped to `[0, 1]`).
+    pub fn with_jitter(self, jitter: f64) -> RetryPolicy {
+        RetryPolicy { jitter: jitter.clamp(0.0, 1.0), ..self }
+    }
+
+    /// Same policy with a different per-backoff cap.
+    pub fn with_max_backoff(self, max_backoff: Duration) -> RetryPolicy {
+        RetryPolicy { max_backoff, ..self }
+    }
+
+    /// The wait before retrying after failed attempt `attempt` (1-based).
+    /// Deterministic in `(self, attempt, seed)`.
+    pub fn backoff_for(&self, attempt: u32, seed: u64) -> Duration {
+        let exp = self.base.as_secs_f64() * self.multiplier.powi(attempt.saturating_sub(1) as i32);
+        let capped = exp.min(self.max_backoff.as_secs_f64());
+        let scale = if self.jitter > 0.0 {
+            let u = splitmix64(seed.wrapping_add(attempt as u64)) as f64 / (u64::MAX as f64 + 1.0);
+            1.0 - self.jitter.clamp(0.0, 1.0) * u
+        } else {
+            1.0
+        };
+        Duration::from_secs_f64((capped * scale).max(0.0))
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over the retry call site, the jitter seed.
+fn site_seed(rank: usize, stage: &str, path: Option<&str>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(&rank.to_le_bytes());
+    eat(stage.as_bytes());
+    eat(path.unwrap_or("").as_bytes());
+    h
+}
+
+/// Clock abstraction for the retry loop, so tests can verify the exact
+/// backoff schedule without real sleeping.
+pub trait RetryClock: Send + Sync {
+    /// Monotonic elapsed time since some fixed origin.
+    fn now(&self) -> Duration;
+    /// Wait for `d`.
+    fn sleep(&self, d: Duration);
+}
+
+/// The real clock: `Instant` + `thread::sleep`.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl Default for SystemClock {
+    fn default() -> SystemClock {
+        SystemClock { origin: Instant::now() }
+    }
+}
+
+impl RetryClock for SystemClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// A virtual clock: `sleep` advances `now` instantly and records the
+/// requested duration, so tests assert the exact backoff schedule.
+#[derive(Debug, Default)]
+pub struct TestClock {
+    now: Mutex<Duration>,
+    sleeps: Mutex<Vec<Duration>>,
+}
+
+impl TestClock {
+    /// A virtual clock at t = 0 with no sleeps recorded.
+    pub fn new() -> TestClock {
+        TestClock::default()
+    }
+
+    /// Advance virtual time without recording a sleep (models work taking
+    /// time between attempts).
+    pub fn advance(&self, d: Duration) {
+        *self.now.lock() += d;
+    }
+
+    /// Every sleep requested so far, in order.
+    pub fn sleeps(&self) -> Vec<Duration> {
+        self.sleeps.lock().clone()
+    }
+}
+
+impl RetryClock for TestClock {
+    fn now(&self) -> Duration {
+        *self.now.lock()
+    }
+
+    fn sleep(&self, d: Duration) {
+        *self.now.lock() += d;
+        self.sleeps.lock().push(d);
+    }
+}
+
+/// Run a storage operation under the retry policy on the real clock.
 pub fn with_retries<T>(
+    policy: RetryPolicy,
+    log: &FailureLog,
+    rank: usize,
+    stage: &str,
+    path: Option<&str>,
+    op: impl FnMut() -> std::result::Result<T, StorageError>,
+) -> Result<T> {
+    with_retries_on(&SystemClock::default(), policy, log, rank, stage, path, op)
+}
+
+/// Run a storage operation under the retry policy, logging every failure
+/// with its pipeline stage. Gives up when the attempt cap is reached or
+/// when the next backoff would overrun the policy's deadline (measured on
+/// `clock` from entry to this function).
+pub fn with_retries_on<T>(
+    clock: &dyn RetryClock,
     policy: RetryPolicy,
     log: &FailureLog,
     rank: usize,
@@ -95,13 +287,19 @@ pub fn with_retries<T>(
     path: Option<&str>,
     mut op: impl FnMut() -> std::result::Result<T, StorageError>,
 ) -> Result<T> {
+    let seed = site_seed(rank, stage, path);
+    let start = clock.now();
     let mut attempt = 0;
     loop {
         attempt += 1;
         match op() {
             Ok(v) => return Ok(v),
             Err(e) => {
-                let retried = attempt < policy.max_attempts;
+                let backoff = policy.backoff_for(attempt, seed);
+                let within_deadline = policy.deadline.is_none_or(|d| {
+                    clock.now().saturating_sub(start) + backoff <= d
+                });
+                let retried = attempt < policy.max_attempts && within_deadline;
                 log.log(FailureRecord {
                     rank,
                     stage: stage.to_string(),
@@ -113,10 +311,46 @@ pub fn with_retries<T>(
                 if !retried {
                     return Err(BcpError::Storage(e));
                 }
-                std::thread::sleep(policy.backoff * attempt);
+                clock.sleep(backoff);
             }
         }
     }
+}
+
+/// Stage name under which primary→secondary failovers are logged.
+pub const FAILOVER_STAGE: &str = "storage/failover";
+
+/// Wire a [`FallbackBackend`]'s trip event into the failure log and the
+/// metrics stream: the downgrade shows up as a [`FailureRecord`] with stage
+/// [`FAILOVER_STAGE`] and as a `MetricRecord` of the same name, so both the
+/// post-mortem log and live dashboards see the degradation.
+pub fn record_failovers(
+    backend: &FallbackBackend,
+    log: Arc<FailureLog>,
+    sink: MetricsSink,
+    rank: usize,
+) {
+    backend.set_observer(Arc::new(move |event| {
+        log.log(FailureRecord {
+            rank,
+            stage: FAILOVER_STAGE.to_string(),
+            path: Some(event.path.clone()),
+            attempt: event.failures,
+            error: format!(
+                "primary backend degraded after {} failures; writes now target the fallback tier",
+                event.failures
+            ),
+            retried: true,
+        });
+        sink.record(MetricRecord {
+            name: FAILOVER_STAGE.to_string(),
+            rank,
+            step: 0,
+            duration: Duration::ZERO,
+            io_bytes: 0,
+            path: Some(event.path.clone()),
+        });
+    }));
 }
 
 /// Commit a checkpoint: write the `COMPLETE` marker under `prefix`.
@@ -138,8 +372,8 @@ pub fn is_committed(backend: &DynBackend, prefix: &str) -> Result<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bcp_storage::{FlakyBackend, MemoryBackend, StorageBackend};
     use bcp_storage::flaky::FailureMode;
+    use bcp_storage::{FlakyBackend, MemoryBackend, StorageBackend};
     use std::sync::Arc;
 
     #[test]
@@ -148,7 +382,7 @@ mod tests {
         let log = FailureLog::new();
         let data = bytes::Bytes::from_static(b"payload");
         let result = with_retries(
-            RetryPolicy { max_attempts: 3, backoff: Duration::from_millis(1) },
+            RetryPolicy::fixed(3, Duration::from_millis(1)),
             &log,
             5,
             "save/upload",
@@ -169,7 +403,7 @@ mod tests {
         let flaky = FlakyBackend::new(Arc::new(MemoryBackend::new()), FailureMode::Writes, 10);
         let log = FailureLog::new();
         let result = with_retries(
-            RetryPolicy { max_attempts: 2, backoff: Duration::from_millis(1) },
+            RetryPolicy::fixed(2, Duration::from_millis(1)),
             &log,
             0,
             "save/upload",
@@ -180,6 +414,116 @@ mod tests {
         let recs = log.records();
         assert_eq!(recs.len(), 2);
         assert!(!recs[1].retried);
+    }
+
+    #[test]
+    fn exponential_backoff_schedule_is_exact_on_a_test_clock() {
+        let clock = TestClock::new();
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(10),
+            multiplier: 2.0,
+            max_backoff: Duration::from_secs(1),
+            jitter: 0.0,
+            deadline: None,
+        };
+        let log = FailureLog::new();
+        let result: Result<()> = with_retries_on(&clock, policy, &log, 0, "s", None, || {
+            Err(StorageError::Io("down".into()))
+        });
+        assert!(result.is_err());
+        assert_eq!(
+            clock.sleeps(),
+            vec![
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+                Duration::from_millis(40),
+            ],
+            "3 sleeps between 4 attempts, doubling from the base"
+        );
+        assert_eq!(clock.now(), Duration::from_millis(70));
+        assert_eq!(log.len(), 4);
+    }
+
+    #[test]
+    fn max_backoff_caps_the_schedule() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base: Duration::from_millis(10),
+            multiplier: 2.0,
+            max_backoff: Duration::from_millis(25),
+            jitter: 0.0,
+            deadline: None,
+        };
+        assert_eq!(policy.backoff_for(1, 0), Duration::from_millis(10));
+        assert_eq!(policy.backoff_for(2, 0), Duration::from_millis(20));
+        assert_eq!(policy.backoff_for(3, 0), Duration::from_millis(25));
+        assert_eq!(policy.backoff_for(9, 0), Duration::from_millis(25));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_site_and_varies_across_sites() {
+        let policy = RetryPolicy::default().with_jitter(0.5);
+        let a1 = policy.backoff_for(1, site_seed(0, "save/upload", Some("f.bin")));
+        let a2 = policy.backoff_for(1, site_seed(0, "save/upload", Some("f.bin")));
+        let b = policy.backoff_for(1, site_seed(1, "save/upload", Some("f.bin")));
+        assert_eq!(a1, a2, "same site, same attempt: identical backoff");
+        assert_ne!(a1, b, "different rank: de-correlated backoff");
+        // Jitter only shrinks the backoff, never grows it.
+        assert!(a1 <= policy.base && b <= policy.base);
+        assert!(a1 >= Duration::from_secs_f64(policy.base.as_secs_f64() * 0.5));
+    }
+
+    #[test]
+    fn deadline_cuts_retries_short() {
+        let clock = TestClock::new();
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base: Duration::from_millis(10),
+            multiplier: 2.0,
+            max_backoff: Duration::from_secs(1),
+            jitter: 0.0,
+            deadline: Some(Duration::from_millis(35)),
+        };
+        let log = FailureLog::new();
+        let result: Result<()> = with_retries_on(&clock, policy, &log, 0, "s", None, || {
+            Err(StorageError::Io("down".into()))
+        });
+        assert!(result.is_err());
+        // 10ms + 20ms fit in the 35ms budget; the third backoff (40ms)
+        // would overrun it, so the loop gives up after 3 attempts.
+        assert_eq!(clock.sleeps(), vec![Duration::from_millis(10), Duration::from_millis(20)]);
+        let recs = log.records();
+        assert_eq!(recs.len(), 3);
+        assert!(!recs[2].retried);
+    }
+
+    #[test]
+    fn failover_is_recorded_in_log_and_metrics() {
+        let hub = bcp_monitor::MetricsHub::new();
+        let primary: DynBackend =
+            Arc::new(FlakyBackend::new(Arc::new(MemoryBackend::new()), FailureMode::Writes, u32::MAX));
+        let secondary: DynBackend = Arc::new(MemoryBackend::new());
+        let fb = FallbackBackend::with_threshold(primary, secondary, 2);
+        let log = Arc::new(FailureLog::new());
+        record_failovers(&fb, log.clone(), hub.sink(), 7);
+
+        let backend: DynBackend = Arc::new(fb);
+        let data = bytes::Bytes::from_static(b"x");
+        with_retries(
+            RetryPolicy::fixed(3, Duration::from_millis(1)),
+            &log,
+            7,
+            "save/upload",
+            Some("f.bin"),
+            || backend.write("f.bin", data.clone()),
+        )
+        .expect("failover absorbs the dead primary");
+
+        let recs = log.records();
+        assert!(recs.iter().any(|r| r.stage == FAILOVER_STAGE && r.rank == 7));
+        let metrics = hub.records();
+        assert!(metrics.iter().any(|m| m.name == FAILOVER_STAGE && m.rank == 7));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | §3.3 load-time resharding workflow (Fig. 8) | [`workflow`] |
 //! | §3.3/Fig. 9 dataloader resharding | [`loader_reshard`] |
 //! | Appendix B integrity barrier, retries, failure logging | [`integrity`] |
+//! | Appendix B stage-level crash injection for recovery tests | [`fault`] |
 //! | §3.1 `bytecheckpoint.save` / `.load` API (Fig. 5) | [`api`] |
 //! | Appendix F safetensors export | [`export`] |
 //! | §2.1/§5.1 retention & garbage collection | [`manager`] |
@@ -29,6 +30,7 @@ pub mod api;
 pub mod decompose;
 pub mod engine;
 pub mod export;
+pub mod fault;
 pub mod format;
 pub mod integrity;
 pub mod loader_reshard;
@@ -39,7 +41,8 @@ pub mod planner;
 pub mod registry;
 pub mod workflow;
 
-pub use api::{Checkpointer, CheckpointerOptions, LoadRequest, SaveRequest};
+pub use api::{Checkpointer, CheckpointerBuilder, CheckpointerOptions, LoadRequest, SaveRequest};
+pub use fault::{FaultHook, FaultPlan};
 pub use metadata::{BasicMeta, ByteMeta, GlobalMetadata, ShardMeta, TensorShardEntry};
 pub use plan::{Category, ReadItem, SavePlan, WriteItem};
 pub use registry::BackendRegistry;
@@ -60,6 +63,13 @@ pub enum BcpError {
     Missing(String),
     /// Planner-level validation failure (framework/parallelism mismatch).
     Plan(String),
+    /// An injected crash fired at a pipeline stage (fault-injection tests).
+    Crashed {
+        /// Rank that "died".
+        rank: usize,
+        /// Pipeline stage at which the crash fired.
+        stage: String,
+    },
 }
 
 impl std::fmt::Display for BcpError {
@@ -71,6 +81,9 @@ impl std::fmt::Display for BcpError {
             BcpError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
             BcpError::Missing(m) => write!(f, "missing data: {m}"),
             BcpError::Plan(m) => write!(f, "planning error: {m}"),
+            BcpError::Crashed { rank, stage } => {
+                write!(f, "injected crash: rank {rank} died at {stage}")
+            }
         }
     }
 }

@@ -126,6 +126,20 @@ impl CheckpointManager {
         Ok(deleted)
     }
 
+    /// Crash-recovery GC: delete *every* uncommitted step prefix, including
+    /// the newest. Unlike [`CheckpointManager::retain_last`] — which spares
+    /// the newest uncommitted step because a save may still be in flight —
+    /// this runs on restart, when the crash guarantees no save is in flight
+    /// and any torn prefix is garbage. Returns the steps deleted, ascending.
+    pub fn gc_torn(&self) -> Result<Vec<u64>> {
+        let mut deleted = Vec::new();
+        for c in self.list()?.iter().filter(|c| !c.committed) {
+            self.delete(c.step)?;
+            deleted.push(c.step);
+        }
+        Ok(deleted)
+    }
+
     /// Total stored bytes per checkpoint (capacity accounting; the paper's
     /// storage-side monitoring watches exactly this).
     pub fn stored_bytes(&self, step: u64) -> Result<u64> {
@@ -194,6 +208,22 @@ mod tests {
         assert_eq!(remaining, vec![200, 300, 400]);
         assert!(!backend.exists("job/step_100/model_0.bin").unwrap());
         assert!(backend.exists("job/step_200/COMPLETE").unwrap());
+    }
+
+    #[test]
+    fn gc_torn_deletes_every_uncommitted_step() {
+        let (m, backend) =
+            manager_with(&[(100, true), (150, false), (200, true), (400, false)]);
+        let deleted = m.gc_torn().unwrap();
+        // Restart semantics: even the newest uncommitted step goes — the
+        // crash means nothing is in flight.
+        assert_eq!(deleted, vec![150, 400]);
+        let remaining: Vec<u64> = m.list().unwrap().iter().map(|c| c.step).collect();
+        assert_eq!(remaining, vec![100, 200]);
+        assert!(backend.list("job/step_150/").unwrap().is_empty());
+        assert!(backend.list("job/step_400/").unwrap().is_empty());
+        // Idempotent on a clean root.
+        assert!(m.gc_torn().unwrap().is_empty());
     }
 
     #[test]

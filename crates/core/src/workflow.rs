@@ -12,6 +12,7 @@
 use crate::engine::load::{execute_load, LoadConfig, LoadStats};
 use crate::engine::pool::PinnedPool;
 use crate::engine::save::{execute_save, SaveConfig, SaveStats};
+use crate::fault::{FaultHook, FaultPlan};
 use crate::integrity::{commit_checkpoint, is_committed, with_retries, FailureLog};
 use crate::metadata::{
     GlobalMetadata, LoaderMap, LoaderShardFileEntry, COMPLETE_MARKER, METADATA_FILE,
@@ -68,6 +69,9 @@ pub struct WorkflowOptions {
     pub plan_cache: bool,
     /// Eliminate redundant reads across DP replicas on load (§4.1).
     pub dedup_reads: bool,
+    /// Injected crash schedule (empty in production; recovery tests kill
+    /// ranks at named pipeline stages through it).
+    pub faults: FaultPlan,
 }
 
 impl Default for WorkflowOptions {
@@ -78,6 +82,7 @@ impl Default for WorkflowOptions {
             load: LoadConfig::default(),
             plan_cache: true,
             dedup_reads: true,
+            faults: FaultPlan::new(),
         }
     }
 }
@@ -138,6 +143,13 @@ pub fn save_checkpoint(
     let step = args.step;
     let planner = planner_for(ctx.framework);
     planner.validate(args.state, ctx.parallelism, rank)?;
+    // A crashing rank declares itself dead to its peers so their collectives
+    // abort with `PeerFailed` instead of waiting out the timeout.
+    let faults = {
+        let comm = ctx.comm.clone();
+        FaultHook::new(options.faults.clone(), rank).with_on_kill(move || comm.mark_self_failed())
+    };
+    faults.check("save/plan")?;
     let blocking_start = Instant::now();
 
     // ---- Planning (Fig. 8 steps 2-4, save direction), cache-aware. ----
@@ -222,6 +234,7 @@ pub fn save_checkpoint(
         log.clone(),
         &options.save,
         step,
+        &faults,
     )?;
     let blocking = blocking_start.elapsed();
 
@@ -236,6 +249,7 @@ pub fn save_checkpoint(
     let finalize = move || -> Result<SaveStats> {
         // Upload dataloader shard files concurrently ("we implemented a
         // process pool for concurrent uploads", §6.4) and the extra state.
+        faults.check("save/loader")?;
         {
             let mut t = sink2.timer("save/loader", rank, step);
             std::thread::scope(|s| -> Result<()> {
@@ -258,6 +272,7 @@ pub fn save_checkpoint(
             })?;
             t.add_bytes(loader_payloads.iter().map(|(_, d)| d.len() as u64).sum());
         }
+        faults.check("save/extra")?;
         if let Some((file, data)) = &extra_payload {
             let _t = sink2.timer("save/extra", rank, step).bytes(data.len() as u64);
             let path = format!("{prefix2}/{file}");
@@ -268,11 +283,13 @@ pub fn save_checkpoint(
         let stats = handle.wait()?;
         // Integrity barrier (tree-based when the backend is Tree), then the
         // coordinator alone commits.
+        faults.check("save/barrier")?;
         {
             let _t = sink2.timer("sync/save_barrier", rank, step);
             comm.barrier()?;
         }
         if rank == coordinator {
+            faults.check("save/metadata")?;
             let meta = metadata.ok_or_else(|| {
                 BcpError::Plan("coordinator lost the metadata template".into())
             })?;
@@ -281,6 +298,7 @@ pub fn save_checkpoint(
             with_retries(retries, &log, rank, "save/metadata", Some(&meta_path), || {
                 backend.write(&meta_path, meta_bytes.clone())
             })?;
+            faults.check("save/commit")?;
             with_retries(retries, &log, rank, "save/commit", Some(&prefix2), || {
                 match commit_checkpoint(&backend, &prefix2) {
                     Ok(()) => Ok(()),
@@ -377,7 +395,12 @@ pub fn load_checkpoint(
     step_hint: u64,
 ) -> Result<LoadReport> {
     let rank = ctx.rank();
+    let faults = {
+        let comm = ctx.comm.clone();
+        FaultHook::new(options.faults.clone(), rank).with_on_kill(move || comm.mark_self_failed())
+    };
     // Step 1: all ranks load the global metadata (committed checkpoints only).
+    faults.check("load/metadata")?;
     if !is_committed(&backend, prefix)? {
         return Err(BcpError::Corrupt(format!(
             "checkpoint {prefix} has no {COMPLETE_MARKER} marker (torn or in-progress save)"
@@ -432,6 +455,7 @@ pub fn load_checkpoint(
         log.clone(),
         &options.load,
         step_hint,
+        &faults,
     )?;
 
     // Extra state: this rank's file, else the coordinator's (world grew).
@@ -461,6 +485,7 @@ pub fn load_checkpoint(
     };
 
     // Step 6: the optimized collective barrier guarantees atomicity.
+    faults.check("load/barrier")?;
     {
         let _t = sink.timer("sync/load_barrier", rank, step_hint);
         ctx.comm.barrier()?;

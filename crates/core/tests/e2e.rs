@@ -3,7 +3,7 @@
 //! verification of every resharding path (the paper's §6.3 check, made
 //! element-exact by the deterministic trainer).
 
-use bcp_core::api::{Checkpointer, CheckpointerOptions, LoadRequest, SaveRequest};
+use bcp_core::api::{Checkpointer, LoadRequest, SaveRequest};
 use bcp_core::planner::balance::DedupStrategy;
 use bcp_core::registry::BackendRegistry;
 use bcp_core::workflow::WorkflowOptions;
@@ -32,7 +32,12 @@ where
         let f = f.clone();
         handles.push(std::thread::spawn(move || {
             let comm = comm_world.communicator(rank).unwrap();
-            let ckpt = Checkpointer::new(comm, fw, par, registry, CheckpointerOptions::default());
+            let ckpt = Checkpointer::builder(comm)
+                .framework(fw)
+                .parallelism(par)
+                .registry(registry)
+                .build()
+                .unwrap();
             f(rank, ckpt)
         }));
     }
@@ -96,15 +101,8 @@ fn save_then_reshard(
     // Phase 1: train + save under configuration A.
     run_ranks(par_a.world_size(), registry.clone(), fw_a, par_a, move |rank, ckpt| {
         let state = reference_state(&arch2, fw_a, par_a, rank, steps);
-        let ticket = ckpt
-            .save(&SaveRequest {
-                path: "mem://test/ckpt/step_final",
-                state: &state,
-                loader: None,
-                extra: None,
-                step: steps,
-            })
-            .unwrap();
+        let ticket =
+            ckpt.save(&SaveRequest::new("mem://test/ckpt/step_final", &state, steps)).unwrap();
         ticket.wait().unwrap();
     });
     // Phase 2: load under configuration B; verify against the reference.
@@ -112,12 +110,7 @@ fn save_then_reshard(
     run_ranks(par_b.world_size(), registry, fw_b, par_b, move |rank, ckpt| {
         // Target skeleton: right sharding, wrong (freshly initialized) data.
         let mut state = build_train_state(&arch2, fw_b, par_b, rank, true);
-        ckpt.load(&mut LoadRequest {
-            path: "mem://test/ckpt/step_final",
-            state: &mut state,
-            loader_target: None,
-        })
-        .unwrap();
+        ckpt.load(&mut LoadRequest::new("mem://test/ckpt/step_final", &mut state)).unwrap();
         let want = reference_state(&arch2, fw_b, par_b, rank, steps);
         assert_states_bitwise_eq(&state, &want, rank);
     });
@@ -255,22 +248,13 @@ fn uncommitted_checkpoint_is_rejected() {
     let par = Parallelism::data_parallel(1).unwrap();
     run_ranks(1, registry.clone(), Framework::Ddp, par, move |rank, ckpt| {
         let state = reference_state(&zoo::tiny_gpt(), Framework::Ddp, par, rank, 1);
-        ckpt.save(&SaveRequest {
-            path: "mem://t/torn",
-            state: &state,
-            loader: None,
-            extra: None,
-            step: 1,
-        })
-        .unwrap()
-        .wait()
-        .unwrap();
+        ckpt.save(&SaveRequest::new("mem://t/torn", &state, 1)).unwrap().wait().unwrap();
     });
     // Tear the checkpoint: remove the COMPLETE marker.
     mem.delete("torn/COMPLETE").unwrap();
     let results = run_ranks(1, registry, Framework::Ddp, par, move |_rank, ckpt| {
         let mut state = build_train_state(&arch, Framework::Ddp, par, 0, true);
-        ckpt.load(&mut LoadRequest { path: "mem://t/torn", state: &mut state, loader_target: None })
+        ckpt.load(&mut LoadRequest::new("mem://t/torn", &mut state))
             .err()
             .map(|e| e.to_string())
     });
@@ -288,16 +272,10 @@ fn plan_cache_eliminates_replanning() {
         let trainer = TrainerConfig::default();
         for step in 0..3u64 {
             trainer.step(&mut state, step);
-            ckpt.save(&SaveRequest {
-                path: &format!("mem://t/cache/step_{step}"),
-                state: &state,
-                loader: None,
-                extra: None,
-                step,
-            })
-            .unwrap()
-            .wait()
-            .unwrap();
+            ckpt.save(&SaveRequest::new(format!("mem://t/cache/step_{step}"), &state, step))
+                .unwrap()
+                .wait()
+                .unwrap();
         }
         ckpt.plan_cache_stats()
     });
@@ -316,24 +294,16 @@ fn extra_state_round_trips() {
         let mut extra = bcp_model::ExtraState::new(77 + rank as u64);
         extra.step = 1;
         extra.next_random();
-        ckpt.save(&SaveRequest {
-            path: "mem://t/extra",
-            state: &state,
-            loader: None,
-            extra: Some(&extra),
-            step: 1,
-        })
-        .unwrap()
-        .wait()
-        .unwrap();
+        ckpt.save(&SaveRequest::new("mem://t/extra", &state, 1).with_extra(&extra))
+            .unwrap()
+            .wait()
+            .unwrap();
         extra
     });
     let arch = zoo::tiny_gpt();
     let loaded = run_ranks(2, registry, Framework::Ddp, par, move |rank, ckpt| {
         let mut state = build_train_state(&arch, Framework::Ddp, par, rank, true);
-        let out = ckpt
-            .load(&mut LoadRequest { path: "mem://t/extra", state: &mut state, loader_target: None })
-            .unwrap();
+        let out = ckpt.load(&mut LoadRequest::new("mem://t/extra", &mut state)).unwrap();
         out.report.extra.expect("extra state present")
     });
     for (rank, (want, got)) in extras.iter().zip(&loaded).enumerate() {
@@ -353,32 +323,23 @@ fn first_replica_baseline_also_round_trips() {
         let registry = registry.clone();
         handles.push(std::thread::spawn(move || {
             let comm = comm_world.communicator(rank).unwrap();
-            let options = CheckpointerOptions {
-                workflow: WorkflowOptions {
+            let ckpt = Checkpointer::builder(comm)
+                .framework(Framework::Ddp)
+                .parallelism(par)
+                .registry(registry)
+                .workflow(WorkflowOptions {
                     dedup: DedupStrategy::FirstReplica,
                     ..Default::default()
-                },
-                ..Default::default()
-            };
-            let ckpt = Checkpointer::new(comm, Framework::Ddp, par, registry, options);
+                })
+                .build()
+                .unwrap();
             let state = reference_state(&zoo::tiny_gpt(), Framework::Ddp, par, rank, 2);
-            ckpt.save(&SaveRequest {
-                path: "mem://t/baseline",
-                state: &state,
-                loader: None,
-                extra: None,
-                step: 2,
-            })
-            .unwrap()
-            .wait()
-            .unwrap();
+            ckpt.save(&SaveRequest::new("mem://t/baseline", &state, 2))
+                .unwrap()
+                .wait()
+                .unwrap();
             let mut fresh = build_train_state(&zoo::tiny_gpt(), Framework::Ddp, par, rank, true);
-            ckpt.load(&mut LoadRequest {
-                path: "mem://t/baseline",
-                state: &mut fresh,
-                loader_target: None,
-            })
-            .unwrap();
+            ckpt.load(&mut LoadRequest::new("mem://t/baseline", &mut fresh)).unwrap();
             let want = reference_state(&zoo::tiny_gpt(), Framework::Ddp, par, rank, 2);
             assert_states_bitwise_eq(&fresh, &want, rank);
         }));

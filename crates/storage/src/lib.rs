@@ -18,6 +18,9 @@
 //!   profiles (used to model NAS and to make monitoring output realistic).
 //! * [`flaky::FlakyBackend`] — failure injection for upload/download retry
 //!   tests (Appendix B).
+//! * [`fallback::FallbackBackend`] — graceful degradation: writes fail over
+//!   to a secondary tier after repeated primary failures, with the downgrade
+//!   observable for failure logging and metrics.
 //!
 //! Paths are slash-separated keys (`checkpoints/step_100/model_3.bin`).
 //! URIs (`hdfs://...`, `file://...`, `mem://...`) are parsed by [`uri`] and
@@ -25,6 +28,7 @@
 //! given checkpoint path to determine the appropriate storage backend".
 
 pub mod disk;
+pub mod fallback;
 pub mod flaky;
 pub mod hdfs;
 pub mod memory;
@@ -32,11 +36,12 @@ pub mod throttle;
 pub mod uri;
 
 pub use disk::DiskBackend;
+pub use fallback::{FailoverEvent, FallbackBackend};
 pub use flaky::FlakyBackend;
 pub use hdfs::{HdfsBackend, HdfsConfig, NameNodeStats};
 pub use memory::MemoryBackend;
 pub use throttle::{Throttled, ThrottleProfile};
-pub use uri::StorageUri;
+pub use uri::{CheckpointLocation, StorageUri};
 
 use bytes::Bytes;
 use std::sync::Arc;

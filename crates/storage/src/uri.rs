@@ -95,6 +95,84 @@ impl std::fmt::Display for StorageUri {
     }
 }
 
+/// A validated checkpoint address: a [`StorageUri`] that is known to have
+/// parsed successfully.
+///
+/// Save/load requests take `impl Into<CheckpointLocation>`, so malformed
+/// URIs surface at request *construction* — in the trainer's code, with a
+/// clear panic message — rather than mid-save deep inside the engine. Use
+/// [`CheckpointLocation::parse`] (or `str::parse`) for the fallible form.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CheckpointLocation {
+    uri: StorageUri,
+}
+
+impl CheckpointLocation {
+    /// Fallible construction from a URI string.
+    pub fn parse(s: &str) -> Result<CheckpointLocation> {
+        StorageUri::parse(s).map(|uri| CheckpointLocation { uri })
+    }
+
+    /// The validated URI.
+    pub fn uri(&self) -> &StorageUri {
+        &self.uri
+    }
+
+    /// Join a sub-path onto this location's key.
+    pub fn join(&self, sub: &str) -> CheckpointLocation {
+        CheckpointLocation { uri: self.uri.join(sub) }
+    }
+}
+
+impl From<StorageUri> for CheckpointLocation {
+    fn from(uri: StorageUri) -> CheckpointLocation {
+        CheckpointLocation { uri }
+    }
+}
+
+impl From<&StorageUri> for CheckpointLocation {
+    fn from(uri: &StorageUri) -> CheckpointLocation {
+        CheckpointLocation { uri: uri.clone() }
+    }
+}
+
+impl From<&str> for CheckpointLocation {
+    /// Panics on a malformed URI — the error belongs at the construction
+    /// site, not mid-save. Use [`CheckpointLocation::parse`] to handle it.
+    fn from(s: &str) -> CheckpointLocation {
+        match CheckpointLocation::parse(s) {
+            Ok(loc) => loc,
+            Err(e) => panic!("invalid checkpoint location {s:?}: {e}"),
+        }
+    }
+}
+
+impl From<String> for CheckpointLocation {
+    fn from(s: String) -> CheckpointLocation {
+        CheckpointLocation::from(s.as_str())
+    }
+}
+
+impl From<&String> for CheckpointLocation {
+    fn from(s: &String) -> CheckpointLocation {
+        CheckpointLocation::from(s.as_str())
+    }
+}
+
+impl std::str::FromStr for CheckpointLocation {
+    type Err = StorageError;
+
+    fn from_str(s: &str) -> Result<CheckpointLocation> {
+        CheckpointLocation::parse(s)
+    }
+}
+
+impl std::fmt::Display for CheckpointLocation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.uri.fmt(f)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +208,24 @@ mod tests {
     fn errors_on_unknown_scheme_and_empty_key() {
         assert!(StorageUri::parse("s3://bucket/key").is_err());
         assert!(StorageUri::parse("hdfs://cluster-only").is_err());
+    }
+
+    #[test]
+    fn location_validates_at_construction() {
+        let loc = CheckpointLocation::from("hdfs://cluster-a/job/step_5");
+        assert_eq!(loc.uri().key, "job/step_5");
+        assert_eq!(loc.to_string(), "hdfs://cluster-a/job/step_5");
+        assert_eq!(loc.join("COMPLETE").uri().key, "job/step_5/COMPLETE");
+        assert!(CheckpointLocation::parse("s3://nope/x").is_err());
+        assert!("mem://a/b".parse::<CheckpointLocation>().is_ok());
+        let from_uri: CheckpointLocation = StorageUri::parse("mem://a/b").unwrap().into();
+        assert_eq!(from_uri.uri().scheme, Scheme::Memory);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid checkpoint location")]
+    fn location_from_malformed_str_panics() {
+        let _ = CheckpointLocation::from("s3://bucket/key");
     }
 
     #[test]

@@ -41,13 +41,12 @@ fn run_phase(
             let f = f.clone();
             std::thread::spawn(move || {
                 let comm = world.communicator(rank).unwrap();
-                let ckpt = Checkpointer::new(
-                    comm,
-                    Framework::Fsdp { zero3: true },
-                    par,
-                    registry,
-                    CheckpointerOptions::default(),
-                );
+                let ckpt = Checkpointer::builder(comm)
+                    .framework(Framework::Fsdp { zero3: true })
+                    .parallelism(par)
+                    .registry(registry)
+                    .build()
+                    .unwrap();
                 f(rank, ckpt)
             })
         })
@@ -85,13 +84,11 @@ fn main() {
         let mut extra = ExtraState::new(77);
         extra.step = checkpoint_step;
         let ticket = ckpt
-            .save(&SaveRequest {
-                path: "mem://cluster/elastic/step_12",
-                state: &state,
-                loader: Some((&replicated, &shard)),
-                extra: Some(&extra),
-                step: checkpoint_step,
-            })
+            .save(
+                &SaveRequest::new("mem://cluster/elastic/step_12", &state, checkpoint_step)
+                    .with_loader(&replicated, &shard)
+                    .with_extra(&extra),
+            )
             .expect("save");
         if rank == 0 {
             println!("  stall {:?} (dataloader collection was prefetched)", ticket.blocking);
@@ -105,11 +102,10 @@ fn main() {
     run_phase(par6, registry, move |rank, ckpt| {
         let mut state = build_train_state(&arch2, fw, par6, rank, true);
         let out = ckpt
-            .load(&mut LoadRequest {
-                path: "mem://cluster/elastic/step_12",
-                state: &mut state,
-                loader_target: Some((6, 2, rank)),
-            })
+            .load(
+                &mut LoadRequest::new("mem://cluster/elastic/step_12", &mut state)
+                    .with_loader_target(6, 2, rank),
+            )
             .expect("load");
         // GPU states: bitwise identical to an uninterrupted 6-way run.
         let mut want = build_train_state(&arch2, fw, par6, rank, true);

@@ -30,25 +30,18 @@ fn main() {
             let registry = registry.clone();
             let arch = arch.clone();
             std::thread::spawn(move || {
-                let ckpt = Checkpointer::new(
-                    world.communicator(rank).unwrap(),
-                    fw,
-                    par,
-                    registry,
-                    CheckpointerOptions::default(),
-                );
+                let ckpt = Checkpointer::builder(world.communicator(rank).unwrap())
+                    .framework(fw)
+                    .parallelism(par)
+                    .registry(registry)
+                    .build()
+                    .unwrap();
                 let mut state = build_train_state(&arch, fw, par, rank, true);
                 TrainerConfig::default().run(&mut state, 0, steps);
-                ckpt.save(&SaveRequest {
-                    path: "mem://prod/eval-demo/step_8",
-                    state: &state,
-                    loader: None,
-                    extra: None,
-                    step: steps,
-                })
-                .expect("save")
-                .wait()
-                .expect("tail");
+                ckpt.save(&SaveRequest::new("mem://prod/eval-demo/step_8", &state, steps))
+                    .expect("save")
+                    .wait()
+                    .expect("tail");
             })
         })
         .collect();
@@ -60,22 +53,17 @@ fn main() {
     println!("evaluation: loading model states into 1 worker (automatic consolidation)");
     let eval_par = Parallelism::data_parallel(1).unwrap();
     let eval_world = CommWorld::new(1, Backend::Flat);
-    let ckpt = Checkpointer::new(
-        eval_world.communicator(0).unwrap(),
-        Framework::Ddp,
-        eval_par,
-        registry.clone(),
-        CheckpointerOptions::default(),
-    );
+    let ckpt = Checkpointer::builder(eval_world.communicator(0).unwrap())
+        .framework(Framework::Ddp)
+        .parallelism(eval_par)
+        .registry(registry.clone())
+        .build()
+        .unwrap();
     let mut eval_state = build_train_state(&arch, Framework::Ddp, eval_par, 0, true);
     // Evaluation only needs the model; drop the optimizer target entries.
     eval_state.optimizer.entries.clear();
-    ckpt.load(&mut LoadRequest {
-        path: "mem://prod/eval-demo/step_8",
-        state: &mut eval_state,
-        loader_target: None,
-    })
-    .expect("load");
+    ckpt.load(&mut LoadRequest::new("mem://prod/eval-demo/step_8", &mut eval_state))
+        .expect("load");
     let mut want = build_train_state(&arch, Framework::Ddp, eval_par, 0, true);
     TrainerConfig::default().run(&mut want, 0, steps);
     for (fqn, w) in &want.model.entries {

@@ -43,13 +43,13 @@ fn main() {
             let registry = registry.clone();
             let sink = hub.sink();
             std::thread::spawn(move || {
-                let ckpt = Checkpointer::new(
-                    world.communicator(rank).unwrap(),
-                    fw,
-                    par,
-                    registry,
-                    CheckpointerOptions { workflow: WorkflowOptions::default(), sink },
-                );
+                let ckpt = Checkpointer::builder(world.communicator(rank).unwrap())
+                    .framework(fw)
+                    .parallelism(par)
+                    .registry(registry)
+                    .sink(sink)
+                    .build()
+                    .unwrap();
                 let mut state = build_train_state(&zoo::tiny_gpt_8l(), fw, par, rank, true);
                 TrainerConfig::default().run(&mut state, 0, 2);
                 // Dataloader holders (tp=0, pp=0) also upload token buffers
@@ -78,16 +78,12 @@ fn main() {
                     None
                 };
                 let extra = ExtraState::new(rank as u64);
-                ckpt.save(&SaveRequest {
-                    path: "hdfs://sim/monitored/step_100",
-                    state: &state,
-                    loader: loader.as_ref().map(|(r, s)| (r, s)),
-                    extra: Some(&extra),
-                    step: 100,
-                })
-                .expect("save")
-                .wait()
-                .expect("tail");
+                let mut req = SaveRequest::new("hdfs://sim/monitored/step_100", &state, 100)
+                    .with_extra(&extra);
+                if let Some((r, s)) = loader.as_ref() {
+                    req = req.with_loader(r, s);
+                }
+                ckpt.save(&req).expect("save").wait().expect("tail");
             })
         })
         .collect();

@@ -34,22 +34,19 @@ fn main() {
                 let registry = registry.clone();
                 let arch = arch.clone();
                 std::thread::spawn(move || {
-                    let ckpt = Checkpointer::new(
-                        world.communicator(rank).unwrap(),
-                        fw_pre,
-                        par_pre,
-                        registry,
-                        CheckpointerOptions::default(),
-                    );
+                    let ckpt = Checkpointer::builder(world.communicator(rank).unwrap())
+                        .framework(fw_pre)
+                        .parallelism(par_pre)
+                        .registry(registry)
+                        .build()
+                        .unwrap();
                     let mut state = build_train_state(&arch, fw_pre, par_pre, rank, true);
                     TrainerConfig::default().run(&mut state, 0, pretrain_steps);
-                    ckpt.save(&SaveRequest {
-                        path: "hdfs://cluster-a/pretrain/final",
-                        state: &state,
-                        loader: None,
-                        extra: None,
-                        step: pretrain_steps,
-                    })
+                    ckpt.save(&SaveRequest::new(
+                        "hdfs://cluster-a/pretrain/final",
+                        &state,
+                        pretrain_steps,
+                    ))
                     .expect("save")
                     .wait()
                     .expect("tail");
@@ -78,20 +75,15 @@ fn main() {
             let registry = registry.clone();
             let arch = arch.clone();
             std::thread::spawn(move || {
-                let ckpt = Checkpointer::new(
-                    world.communicator(rank).unwrap(),
-                    fw_sft,
-                    par_sft,
-                    registry,
-                    CheckpointerOptions::default(),
-                );
+                let ckpt = Checkpointer::builder(world.communicator(rank).unwrap())
+                    .framework(fw_sft)
+                    .parallelism(par_sft)
+                    .registry(registry)
+                    .build()
+                    .unwrap();
                 let mut state = build_train_state(&arch, fw_sft, par_sft, rank, true);
-                ckpt.load(&mut LoadRequest {
-                    path: "hdfs://cluster-a/pretrain/final",
-                    state: &mut state,
-                    loader_target: None,
-                })
-                .expect("load-time resharding");
+                ckpt.load(&mut LoadRequest::new("hdfs://cluster-a/pretrain/final", &mut state))
+                    .expect("load-time resharding");
                 // Verify: the FSDP flat shards must equal the reference
                 // evolution of the logical tensors.
                 let mut want = build_train_state(&arch, fw_sft, par_sft, rank, true);

@@ -39,13 +39,12 @@ fn main() {
         let registry = registry.clone();
         handles.push(std::thread::spawn(move || {
             let comm = world.communicator(rank).unwrap();
-            let ckpt = Checkpointer::new(
-                comm.clone(),
-                Framework::Ddp,
-                par,
-                registry,
-                CheckpointerOptions::default(),
-            );
+            let ckpt = Checkpointer::builder(comm.clone())
+                .framework(Framework::Ddp)
+                .parallelism(par)
+                .registry(registry)
+                .build()
+                .unwrap();
             let mut mlp = Mlp::new(2, 16, 7);
             let adam = MlpAdam::default();
             for step in 0..30u64 {
@@ -59,13 +58,7 @@ fn main() {
                     let (model, optimizer) = mlp.to_state_dicts();
                     let state = TrainState { model, optimizer };
                     let ticket = ckpt
-                        .save(&SaveRequest {
-                            path: "file:///ckpt/step_20",
-                            state: &state,
-                            loader: None,
-                            extra: None,
-                            step,
-                        })
+                        .save(&SaveRequest::new("file:///ckpt/step_20", &state, step))
                         .expect("save");
                     if rank == 0 {
                         println!("  checkpoint stall: {:?}", ticket.blocking);
@@ -88,22 +81,16 @@ fn main() {
         let registry = registry.clone();
         handles.push(std::thread::spawn(move || {
             let comm = world.communicator(rank).unwrap();
-            let ckpt = Checkpointer::new(
-                comm.clone(),
-                Framework::Ddp,
-                par,
-                registry,
-                CheckpointerOptions::default(),
-            );
+            let ckpt = Checkpointer::builder(comm.clone())
+                .framework(Framework::Ddp)
+                .parallelism(par)
+                .registry(registry)
+                .build()
+                .unwrap();
             let mut mlp = Mlp::new(2, 16, 999); // wrong init on purpose
             let (model, optimizer) = mlp.to_state_dicts();
             let mut state = TrainState { model, optimizer };
-            ckpt.load(&mut LoadRequest {
-                path: "file:///ckpt/step_20",
-                state: &mut state,
-                loader_target: None,
-            })
-            .expect("load");
+            ckpt.load(&mut LoadRequest::new("file:///ckpt/step_20", &mut state)).expect("load");
             mlp.load_state_dicts(&state.model, &state.optimizer);
             let adam = MlpAdam::default();
             for step in 21..30u64 {

@@ -7,6 +7,7 @@
 //! bcpctl verify  <checkpoint-dir>        # decode every frame, check CRCs
 //! bcpctl export  <checkpoint-dir> <out>  # consolidate into a .safetensors
 //! bcpctl retain  <job-root-dir> <k>      # keep newest k, delete the rest
+//! bcpctl gc      <job-root-dir>          # delete every torn (uncommitted) step
 //! ```
 //!
 //! All commands run against the real on-disk checkpoint layout produced by
@@ -15,9 +16,8 @@
 
 use bytecheckpoint::core::export::export_safetensors;
 use bytecheckpoint::core::format::decode_frames;
-use bytecheckpoint::core::manager::CheckpointManager;
 use bytecheckpoint::core::metadata::{GlobalMetadata, METADATA_FILE};
-use bytecheckpoint::storage::{DiskBackend, DynBackend};
+use bytecheckpoint::prelude::{CheckpointManager, DiskBackend, DynBackend};
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -30,9 +30,10 @@ fn main() -> ExitCode {
         [cmd, dir] if cmd == "verify" => cmd_verify(dir),
         [cmd, dir, out] if cmd == "export" => cmd_export(dir, out),
         [cmd, dir, k] if cmd == "retain" => cmd_retain(dir, k),
+        [cmd, dir] if cmd == "gc" => cmd_gc(dir),
         _ => {
             eprintln!(
-                "usage: bcpctl <list|inspect|verify> <dir> | export <dir> <out> | retain <dir> <k>"
+                "usage: bcpctl <list|inspect|verify|gc> <dir> | export <dir> <out> | retain <dir> <k>"
             );
             return ExitCode::from(2);
         }
@@ -189,6 +190,18 @@ fn cmd_retain(dir: &str, k: &str) -> Result<(), AnyError> {
         println!("nothing to delete (≤{keep} committed checkpoints present)");
     } else {
         println!("deleted steps: {deleted:?}");
+    }
+    Ok(())
+}
+
+fn cmd_gc(dir: &str) -> Result<(), AnyError> {
+    let (backend, root) = open(dir)?;
+    let mgr = CheckpointManager::new(backend, root);
+    let deleted = mgr.gc_torn()?;
+    if deleted.is_empty() {
+        println!("no torn checkpoints under {dir}");
+    } else {
+        println!("garbage-collected torn steps: {deleted:?}");
     }
     Ok(())
 }

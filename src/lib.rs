@@ -4,8 +4,9 @@
 //! Checkpointing System for Large Foundation Model Development"**
 //! (NSDI 2025): parallelism-agnostic checkpoint representation with
 //! automatic load-time resharding, a generic save/load workflow over
-//! multiple training frameworks and storage backends, and full-stack I/O
-//! optimizations.
+//! multiple training frameworks and storage backends, full-stack I/O
+//! optimizations, and a recovery subsystem (backoff retries, failover
+//! storage, crash-stage fault injection, auto-resume).
 //!
 //! ## Quickstart
 //!
@@ -17,39 +18,30 @@
 //! let world = CommWorld::new(1, Backend::Flat);
 //! let registry = Arc::new(BackendRegistry::all_memory());
 //! let par = Parallelism::data_parallel(1).unwrap();
-//! let ckpt = Checkpointer::new(
-//!     world.communicator(0).unwrap(),
-//!     Framework::Ddp,
-//!     par,
-//!     registry,
-//!     CheckpointerOptions::default(),
-//! );
+//! let ckpt = Checkpointer::builder(world.communicator(0).unwrap())
+//!     .framework(Framework::Ddp)
+//!     .parallelism(par)
+//!     .registry(registry)
+//!     .build()
+//!     .unwrap();
 //!
 //! // Some training state...
 //! let state = build_train_state(&zoo::tiny_gpt(), Framework::Ddp, par, 0, true);
 //!
 //! // bytecheckpoint.save(...)
-//! let ticket = ckpt
-//!     .save(&SaveRequest {
-//!         path: "mem://demo/ckpt/step_1",
-//!         state: &state,
-//!         loader: None,
-//!         extra: None,
-//!         step: 1,
-//!     })
-//!     .unwrap();
+//! let ticket = ckpt.save(&SaveRequest::new("mem://demo/ckpt/step_1", &state, 1)).unwrap();
 //! println!("stall: {:?}", ticket.blocking);
 //! ticket.wait().unwrap();
 //!
 //! // bytecheckpoint.load(...) — into any parallelism; resharding is
 //! // automatic when it differs.
 //! let mut target = build_train_state(&zoo::tiny_gpt(), Framework::Ddp, par, 0, true);
-//! ckpt.load(&mut LoadRequest {
-//!     path: "mem://demo/ckpt/step_1",
-//!     state: &mut target,
-//!     loader_target: None,
-//! })
-//! .unwrap();
+//! ckpt.load(&mut LoadRequest::new("mem://demo/ckpt/step_1", &mut target)).unwrap();
+//!
+//! // After a crash: GC torn steps under the root and resume from the
+//! // newest committed checkpoint.
+//! let resumed = ckpt.load_latest("mem://demo/ckpt", &mut target, None).unwrap();
+//! assert_eq!(resumed.unwrap().resumed_step(), 1);
 //! ```
 //!
 //! ## Crate map
@@ -82,15 +74,22 @@ pub use bcp_topology as topology;
 pub mod prelude {
     pub use bcp_collectives::{Backend, CommWorld, Communicator};
     pub use bcp_core::api::{
-        Checkpointer, CheckpointerOptions, LoadOutcome, LoadRequest, SaveRequest,
+        Checkpointer, CheckpointerBuilder, CheckpointerOptions, LoadOutcome, LoadRequest,
+        SaveRequest,
     };
+    pub use bcp_core::fault::FaultPlan;
+    pub use bcp_core::integrity::RetryPolicy;
+    pub use bcp_core::manager::CheckpointManager;
     pub use bcp_core::registry::BackendRegistry;
     pub use bcp_core::workflow::WorkflowOptions;
     pub use bcp_dataloader::{DataSource, Dataloader, LoaderReplicatedState, LoaderShardState};
     pub use bcp_model::states::build_train_state;
     pub use bcp_model::{zoo, ExtraState, Framework, TrainState, TrainerConfig};
     pub use bcp_storage::uri::Scheme;
-    pub use bcp_storage::{DiskBackend, DynBackend, HdfsBackend, MemoryBackend, StorageUri};
+    pub use bcp_storage::{
+        CheckpointLocation, DiskBackend, DynBackend, FallbackBackend, FlakyBackend, HdfsBackend,
+        MemoryBackend, StorageUri,
+    };
     pub use bcp_tensor::{DType, Tensor};
     pub use bcp_topology::{Parallelism, ShardSpec};
 }

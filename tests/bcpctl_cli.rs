@@ -22,16 +22,10 @@ fn make_job_dir() -> std::path::PathBuf {
     run_ranks(par, fw, registry, move |rank, ckpt| {
         for step in [10u64, 20] {
             let state = reference_state(&zoo::tiny_gpt(), fw, par, rank, step);
-            ckpt.save(&SaveRequest {
-                path: &format!("file:///job/step_{step}"),
-                state: &state,
-                loader: None,
-                extra: None,
-                step,
-            })
-            .unwrap()
-            .wait()
-            .unwrap();
+            ckpt.save(&SaveRequest::new(format!("file:///job/step_{step}"), &state, step))
+                .unwrap()
+                .wait()
+                .unwrap();
         }
     });
     dir

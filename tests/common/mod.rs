@@ -26,8 +26,12 @@ where
             let f = f.clone();
             std::thread::spawn(move || {
                 let comm = world.communicator(rank).unwrap();
-                let ckpt =
-                    Checkpointer::new(comm, fw, par, registry, CheckpointerOptions::default());
+                let ckpt = Checkpointer::builder(comm)
+                    .framework(fw)
+                    .parallelism(par)
+                    .registry(registry)
+                    .build()
+                    .unwrap();
                 f(rank, ckpt)
             })
         })

@@ -27,16 +27,7 @@ fn worker_death_during_save_leaves_no_committed_checkpoint() {
     let arch_c = arch.clone();
     run_ranks(par, fw, registry.clone(), move |rank, ckpt| {
         let state = reference_state(&arch_c, fw, par, rank, 1);
-        ckpt.save(&SaveRequest {
-            path: "mem://x/j/good",
-            state: &state,
-            loader: None,
-            extra: None,
-            step: 1,
-        })
-        .unwrap()
-        .wait()
-        .unwrap();
+        ckpt.save(&SaveRequest::new("mem://x/j/good", &state, 1)).unwrap().wait().unwrap();
     });
 
     // Now a save where rank 2 "dies" before participating: the survivors'
@@ -54,16 +45,15 @@ fn worker_death_during_save_leaves_no_committed_checkpoint() {
         let arch = arch.clone();
         handles.push(std::thread::spawn(move || {
             let comm = world.communicator(rank).unwrap();
-            let ckpt = Checkpointer::new(comm, fw, par, registry, CheckpointerOptions::default());
+            let ckpt = Checkpointer::builder(comm)
+                .framework(fw)
+                .parallelism(par)
+                .registry(registry)
+                .build()
+                .unwrap();
             let state = reference_state(&arch, fw, par, rank, 2);
             let result = ckpt
-                .save(&SaveRequest {
-                    path: "mem://x/j/torn",
-                    state: &state,
-                    loader: None,
-                    extra: None,
-                    step: 2,
-                })
+                .save(&SaveRequest::new("mem://x/j/torn", &state, 2))
                 .and_then(|t| t.wait());
             result.err().map(|e| e.to_string())
         }));
@@ -78,12 +68,7 @@ fn worker_death_during_save_leaves_no_committed_checkpoint() {
     let arch_c = arch.clone();
     run_ranks(par, fw, registry, move |rank, ckpt| {
         let mut state = build_train_state(&arch_c, fw, par, rank, true);
-        ckpt.load(&mut LoadRequest {
-            path: "mem://x/j/good",
-            state: &mut state,
-            loader_target: None,
-        })
-        .unwrap();
+        ckpt.load(&mut LoadRequest::new("mem://x/j/good", &mut state)).unwrap();
         assert_states_eq(&state, &reference_state(&arch_c, fw, par, rank, 1), rank);
     });
 }
@@ -102,16 +87,7 @@ fn corrupted_storage_file_is_detected_at_load() {
     let arch_c = arch.clone();
     run_ranks(par, fw, registry.clone(), move |rank, ckpt| {
         let state = reference_state(&arch_c, fw, par, rank, 1);
-        ckpt.save(&SaveRequest {
-            path: "mem://x/j/c",
-            state: &state,
-            loader: None,
-            extra: None,
-            step: 1,
-        })
-        .unwrap()
-        .wait()
-        .unwrap();
+        ckpt.save(&SaveRequest::new("mem://x/j/c", &state, 1)).unwrap().wait().unwrap();
     });
     // Corrupt the metadata JSON: load must fail loudly.
     let original_meta = mem.read("j/c/global_metadata.json").unwrap();
@@ -120,7 +96,7 @@ fn corrupted_storage_file_is_detected_at_load() {
     let arch_c = arch.clone();
     let errs = run_ranks(par, fw, registry.clone(), move |rank, ckpt| {
         let mut state = build_train_state(&arch_c, fw, par, rank, true);
-        ckpt.load(&mut LoadRequest { path: "mem://x/j/c", state: &mut state, loader_target: None })
+        ckpt.load(&mut LoadRequest::new("mem://x/j/c", &mut state))
             .err()
             .map(|e| e.to_string())
     });
@@ -134,7 +110,7 @@ fn corrupted_storage_file_is_detected_at_load() {
     let arch_c = arch.clone();
     let errs = run_ranks(par, fw, registry, move |rank, ckpt| {
         let mut state = build_train_state(&arch_c, fw, par, rank, true);
-        ckpt.load(&mut LoadRequest { path: "mem://x/j/c", state: &mut state, loader_target: None })
+        ckpt.load(&mut LoadRequest::new("mem://x/j/c", &mut state))
             .err()
             .map(|e| e.to_string())
     });
@@ -155,16 +131,7 @@ fn metadata_tampering_is_caught_by_validation() {
     let arch_c = arch.clone();
     run_ranks(par, fw, registry.clone(), move |rank, ckpt| {
         let state = reference_state(&arch_c, fw, par, rank, 1);
-        ckpt.save(&SaveRequest {
-            path: "mem://x/j/t",
-            state: &state,
-            loader: None,
-            extra: None,
-            step: 1,
-        })
-        .unwrap()
-        .wait()
-        .unwrap();
+        ckpt.save(&SaveRequest::new("mem://x/j/t", &state, 1)).unwrap().wait().unwrap();
     });
     // Tamper: inflate one shard's byte length so it no longer matches its
     // element count — validate() must reject.
@@ -176,7 +143,7 @@ fn metadata_tampering_is_caught_by_validation() {
     let arch_c = arch.clone();
     let errs = run_ranks(par, fw, registry, move |rank, ckpt| {
         let mut state = build_train_state(&arch_c, fw, par, rank, true);
-        ckpt.load(&mut LoadRequest { path: "mem://x/j/t", state: &mut state, loader_target: None })
+        ckpt.load(&mut LoadRequest::new("mem://x/j/t", &mut state))
             .err()
             .map(|e| e.to_string())
     });
@@ -199,16 +166,7 @@ fn frame_level_crc_catches_bit_flips() {
     let arch_c = arch.clone();
     run_ranks(par, fw, registry, move |rank, ckpt| {
         let state = reference_state(&arch_c, fw, par, rank, 1);
-        ckpt.save(&SaveRequest {
-            path: "mem://x/j/f",
-            state: &state,
-            loader: None,
-            extra: None,
-            step: 1,
-        })
-        .unwrap()
-        .wait()
-        .unwrap();
+        ckpt.save(&SaveRequest::new("mem://x/j/f", &state, 1)).unwrap().wait().unwrap();
     });
     let clean = mem.read("j/f/model_0.bin").unwrap();
     assert!(bytecheckpoint::core::format::decode_frames(&clean).is_ok());

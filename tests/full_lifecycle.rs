@@ -50,16 +50,12 @@ fn pretrain_resume_sft_eval_export() {
         };
         let mut extra = ExtraState::new(42);
         extra.step = s1_steps;
-        ckpt.save(&SaveRequest {
-            path: "hdfs://prod/lineage/pretrain_10",
-            state: &state,
-            loader: loader.as_ref().map(|(r, s)| (r, s)),
-            extra: Some(&extra),
-            step: s1_steps,
-        })
-        .unwrap()
-        .wait()
-        .unwrap();
+        let mut req = SaveRequest::new("hdfs://prod/lineage/pretrain_10", &state, s1_steps)
+            .with_extra(&extra);
+        if let Some((r, s)) = loader.as_ref() {
+            req = req.with_loader(r, s);
+        }
+        ckpt.save(&req).unwrap().wait().unwrap();
     });
 
     // ---- Stage 2: quota change — resume on 6 workers, TP=1 DP=3 PP=2. ----
@@ -76,7 +72,7 @@ fn pretrain_resume_sft_eval_export() {
         };
         let out = ckpt
             .load(&mut LoadRequest {
-                path: "hdfs://prod/lineage/pretrain_10",
+                location: "hdfs://prod/lineage/pretrain_10".into(),
                 state: &mut state,
                 loader_target,
             })
@@ -92,13 +88,10 @@ fn pretrain_resume_sft_eval_export() {
         TrainerConfig::default().run(&mut state, s1_steps, s2_steps - s1_steps);
         let mut extra = ExtraState::new(42);
         extra.step = s2_steps;
-        ckpt.save(&SaveRequest {
-            path: "hdfs://prod/lineage/pretrain_16",
-            state: &state,
-            loader: None,
-            extra: Some(&extra),
-            step: s2_steps,
-        })
+        ckpt.save(
+            &SaveRequest::new("hdfs://prod/lineage/pretrain_16", &state, s2_steps)
+                .with_extra(&extra),
+        )
         .unwrap()
         .wait()
         .unwrap();
@@ -111,24 +104,13 @@ fn pretrain_resume_sft_eval_export() {
     let arch_c = arch.clone();
     run_ranks(par3, fw3, registry.clone(), move |rank, ckpt| {
         let mut state = build_train_state(&arch_c, fw3, par3, rank, true);
-        ckpt.load(&mut LoadRequest {
-            path: "hdfs://prod/lineage/pretrain_16",
-            state: &mut state,
-            loader_target: None,
-        })
-        .unwrap();
+        ckpt.load(&mut LoadRequest::new("hdfs://prod/lineage/pretrain_16", &mut state)).unwrap();
         assert_states_eq(&state, &reference_state(&arch_c, fw3, par3, rank, s2_steps), rank);
         TrainerConfig::default().run(&mut state, s2_steps, s3_steps - s2_steps);
-        ckpt.save(&SaveRequest {
-            path: "hdfs://prod/lineage/sft_20",
-            state: &state,
-            loader: None,
-            extra: None,
-            step: s3_steps,
-        })
-        .unwrap()
-        .wait()
-        .unwrap();
+        ckpt.save(&SaveRequest::new("hdfs://prod/lineage/sft_20", &state, s3_steps))
+            .unwrap()
+            .wait()
+            .unwrap();
     });
 
     // ---- Stage 4: evaluation — a single worker pulls the SFT model. ----
@@ -137,12 +119,7 @@ fn pretrain_resume_sft_eval_export() {
     run_ranks(par4, Framework::Ddp, registry.clone(), move |rank, ckpt| {
         let mut state = build_train_state(&arch_c, Framework::Ddp, par4, rank, true);
         state.optimizer.entries.clear(); // eval needs the model only
-        ckpt.load(&mut LoadRequest {
-            path: "hdfs://prod/lineage/sft_20",
-            state: &mut state,
-            loader_target: None,
-        })
-        .unwrap();
+        ckpt.load(&mut LoadRequest::new("hdfs://prod/lineage/sft_20", &mut state)).unwrap();
         let want = reference_state(&arch_c, Framework::Ddp, par4, rank, s3_steps);
         for (fqn, w) in &want.model.entries {
             assert!(state.model.get(fqn).unwrap().tensor.bitwise_eq(&w.tensor), "{fqn}");
@@ -174,30 +151,18 @@ fn checkpoint_history_supports_multiple_steps() {
         let mut state = build_train_state(&arch_c, fw, par, rank, true);
         for step in 1..=3u64 {
             TrainerConfig::default().step(&mut state, step - 1);
-            ckpt.save(&SaveRequest {
-                path: &format!("mem://job/history/step_{step}"),
-                state: &state,
-                loader: None,
-                extra: None,
-                step,
-            })
-            .unwrap()
-            .wait()
-            .unwrap();
+            ckpt.save(&SaveRequest::new(format!("mem://job/history/step_{step}"), &state, step))
+                .unwrap()
+                .wait()
+                .unwrap();
         }
     });
     // Load the middle snapshot and confirm it is step 2, not step 3.
     let arch_c = arch.clone();
     run_ranks(par, fw, registry, move |rank, ckpt| {
         let mut state = build_train_state(&arch_c, fw, par, rank, true);
-        let out = ckpt
-            .load(&mut LoadRequest {
-                path: "mem://job/history/step_2",
-                state: &mut state,
-                loader_target: None,
-            })
-            .unwrap();
-        assert_eq!(out.report.metadata.step, 2);
+        let out = ckpt.load(&mut LoadRequest::new("mem://job/history/step_2", &mut state)).unwrap();
+        assert_eq!(out.resumed_step(), 2);
         assert_states_eq(&state, &reference_state(&arch_c, fw, par, rank, 2), rank);
     });
 }
@@ -215,16 +180,7 @@ fn huggingface_import_seeds_distributed_training() {
     let arch_c = arch.clone();
     run_ranks(par1, fw, registry.clone(), move |rank, ckpt| {
         let state = reference_state(&arch_c, fw, par1, rank, steps);
-        ckpt.save(&SaveRequest {
-            path: "mem://x/hf/src",
-            state: &state,
-            loader: None,
-            extra: None,
-            step: steps,
-        })
-        .unwrap()
-        .wait()
-        .unwrap();
+        ckpt.save(&SaveRequest::new("mem://x/hf/src", &state, steps)).unwrap().wait().unwrap();
     });
     let uri = StorageUri::parse("mem://x/hf/src").unwrap();
     let backend = registry.resolve(&uri).unwrap();
@@ -239,12 +195,7 @@ fn huggingface_import_seeds_distributed_training() {
     run_ranks(par2, fw2, registry, move |rank, ckpt| {
         let mut state = build_train_state(&arch_c, fw2, par2, rank, true);
         state.optimizer.entries.clear(); // the import carries model weights only
-        ckpt.load(&mut LoadRequest {
-            path: "mem://x/hf/imported",
-            state: &mut state,
-            loader_target: None,
-        })
-        .unwrap();
+        ckpt.load(&mut LoadRequest::new("mem://x/hf/imported", &mut state)).unwrap();
         let want = reference_state(&arch_c, fw2, par2, rank, steps);
         for (fqn, w) in &want.model.entries {
             assert!(state.model.get(fqn).unwrap().tensor.bitwise_eq(&w.tensor), "{fqn}");
@@ -275,24 +226,16 @@ fn two_tier_memory_plus_hdfs_checkpointing() {
         let mut state = build_train_state(&arch_c, fw, par, rank, true);
         for step in 1..=4u64 {
             TrainerConfig::default().step(&mut state, step - 1);
-            ckpt.save(&SaveRequest {
-                path: &format!("mem://gemini/job/step_{step}"),
-                state: &state,
-                loader: None,
-                extra: None,
-                step,
-            })
-            .unwrap()
-            .wait()
-            .unwrap();
+            ckpt.save(&SaveRequest::new(format!("mem://gemini/job/step_{step}"), &state, step))
+                .unwrap()
+                .wait()
+                .unwrap();
             if step % 2 == 0 {
-                ckpt.save(&SaveRequest {
-                    path: &format!("hdfs://cluster/job/step_{step}"),
-                    state: &state,
-                    loader: None,
-                    extra: None,
+                ckpt.save(&SaveRequest::new(
+                    format!("hdfs://cluster/job/step_{step}"),
+                    &state,
                     step,
-                })
+                ))
                 .unwrap()
                 .wait()
                 .unwrap();
@@ -311,14 +254,9 @@ fn two_tier_memory_plus_hdfs_checkpointing() {
     let arch_c = arch.clone();
     run_ranks(par, fw, registry, move |rank, ckpt| {
         let mut state = build_train_state(&arch_c, fw, par, rank, true);
-        let out = ckpt
-            .load(&mut LoadRequest {
-                path: "hdfs://cluster/job/step_4",
-                state: &mut state,
-                loader_target: None,
-            })
-            .unwrap();
-        assert_eq!(out.report.metadata.step, 4);
+        let out =
+            ckpt.load(&mut LoadRequest::new("hdfs://cluster/job/step_4", &mut state)).unwrap();
+        assert_eq!(out.resumed_step(), 4);
         assert_states_eq(&state, &reference_state(&arch_c, fw, par, rank, 4), rank);
     });
 }

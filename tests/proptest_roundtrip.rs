@@ -47,26 +47,15 @@ proptest! {
         let arch1 = arch.clone();
         run_ranks(a.par, a.fw, registry.clone(), move |rank, ckpt| {
             let state = reference_state(&arch1, a.fw, a.par, rank, steps);
-            ckpt.save(&SaveRequest {
-                path: "mem://prop/ckpt",
-                state: &state,
-                loader: None,
-                extra: None,
-                step: steps,
-            })
-            .unwrap()
-            .wait()
-            .unwrap();
+            ckpt.save(&SaveRequest::new("mem://prop/ckpt", &state, steps))
+                .unwrap()
+                .wait()
+                .unwrap();
         });
         let arch2 = arch.clone();
         run_ranks(b.par, b.fw, registry, move |rank, ckpt| {
             let mut state = build_train_state(&arch2, b.fw, b.par, rank, true);
-            ckpt.load(&mut LoadRequest {
-                path: "mem://prop/ckpt",
-                state: &mut state,
-                loader_target: None,
-            })
-            .unwrap();
+            ckpt.load(&mut LoadRequest::new("mem://prop/ckpt", &mut state)).unwrap();
             assert_states_eq(&state, &reference_state(&arch2, b.fw, b.par, rank, steps), rank);
         });
     }

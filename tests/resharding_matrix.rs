@@ -21,26 +21,12 @@ fn transition(
     let arch1 = arch.clone();
     run_ranks(par_a, fw_a, registry.clone(), move |rank, ckpt| {
         let state = reference_state(&arch1, fw_a, par_a, rank, steps);
-        ckpt.save(&SaveRequest {
-            path: "mem://matrix/ckpt",
-            state: &state,
-            loader: None,
-            extra: None,
-            step: steps,
-        })
-        .unwrap()
-        .wait()
-        .unwrap();
+        ckpt.save(&SaveRequest::new("mem://matrix/ckpt", &state, steps)).unwrap().wait().unwrap();
     });
     let arch2 = arch.clone();
     run_ranks(par_b, fw_b, registry, move |rank, ckpt| {
         let mut state = build_train_state(&arch2, fw_b, par_b, rank, true);
-        ckpt.load(&mut LoadRequest {
-            path: "mem://matrix/ckpt",
-            state: &mut state,
-            loader_target: None,
-        })
-        .unwrap();
+        ckpt.load(&mut LoadRequest::new("mem://matrix/ckpt", &mut state)).unwrap();
         assert_states_eq(&state, &reference_state(&arch2, fw_b, par_b, rank, steps), rank);
     });
 }

@@ -24,14 +24,11 @@ fn round_trip(path: &'static str, registry: Arc<BackendRegistry>) {
     let par = Parallelism::data_parallel(2).unwrap();
     run_ranks(par, fw, registry.clone(), move |rank, ckpt| {
         let state = reference_state(&zoo::tiny_gpt(), fw, par, rank, 2);
-        ckpt.save(&SaveRequest { path, state: &state, loader: None, extra: None, step: 2 })
-            .unwrap()
-            .wait()
-            .unwrap();
+        ckpt.save(&SaveRequest::new(path, &state, 2)).unwrap().wait().unwrap();
     });
     run_ranks(par, fw, registry, move |rank, ckpt| {
         let mut state = build_train_state(&arch, fw, par, rank, true);
-        ckpt.load(&mut LoadRequest { path, state: &mut state, loader_target: None }).unwrap();
+        ckpt.load(&mut LoadRequest::new(path, &mut state)).unwrap();
         assert_states_eq(&state, &reference_state(&arch, fw, par, rank, 2), rank);
     });
 }
@@ -81,12 +78,7 @@ fn hdfs_backend_end_to_end_with_metadata_machinery() {
     let par = Parallelism::data_parallel(2).unwrap();
     run_ranks(par, fw, registry_for(Scheme::Hdfs, hdfs), move |rank, ckpt| {
         let mut state = build_train_state(&arch, fw, par, rank, true);
-        ckpt.load(&mut LoadRequest {
-            path: "hdfs://prod/job/hdfs-ckpt",
-            state: &mut state,
-            loader_target: None,
-        })
-        .unwrap();
+        ckpt.load(&mut LoadRequest::new("hdfs://prod/job/hdfs-ckpt", &mut state)).unwrap();
         assert_states_eq(&state, &reference_state(&arch, fw, par, rank, 2), rank);
     });
 }
@@ -118,28 +110,17 @@ fn flaky_storage_is_absorbed_by_retries() {
     let par = Parallelism::data_parallel(2).unwrap();
     let failures: Vec<usize> = run_ranks(par, fw, registry.clone(), move |rank, ckpt| {
         let state = reference_state(&zoo::tiny_gpt(), fw, par, rank, 1);
-        ckpt.save(&SaveRequest {
-            path: "hdfs://flaky/job/ckpt",
-            state: &state,
-            loader: None,
-            extra: None,
-            step: 1,
-        })
-        .unwrap()
-        .wait()
-        .unwrap();
+        ckpt.save(&SaveRequest::new("hdfs://flaky/job/ckpt", &state, 1))
+            .unwrap()
+            .wait()
+            .unwrap();
         ckpt.failures().len()
     });
     assert!(failures.iter().sum::<usize>() > 0, "failures must be logged");
     // Loads also retry through read failures.
     run_ranks(par, fw, registry, move |rank, ckpt| {
         let mut state = build_train_state(&arch, fw, par, rank, true);
-        ckpt.load(&mut LoadRequest {
-            path: "hdfs://flaky/job/ckpt",
-            state: &mut state,
-            loader_target: None,
-        })
-        .unwrap();
+        ckpt.load(&mut LoadRequest::new("hdfs://flaky/job/ckpt", &mut state)).unwrap();
         assert_states_eq(&state, &reference_state(&arch, fw, par, rank, 1), rank);
     });
 }
@@ -157,16 +138,10 @@ fn authority_routing_selects_clusters() {
     let par = Parallelism::data_parallel(1).unwrap();
     run_ranks(par, fw, registry, move |rank, ckpt| {
         let state = reference_state(&zoo::tiny_gpt(), fw, par, rank, 1);
-        ckpt.save(&SaveRequest {
-            path: "hdfs://cluster-b/routed/ckpt",
-            state: &state,
-            loader: None,
-            extra: None,
-            step: 1,
-        })
-        .unwrap()
-        .wait()
-        .unwrap();
+        ckpt.save(&SaveRequest::new("hdfs://cluster-b/routed/ckpt", &state, 1))
+            .unwrap()
+            .wait()
+            .unwrap();
     });
     assert!(b.exists("routed/ckpt/COMPLETE").unwrap());
     assert!(!a.exists("routed/ckpt/COMPLETE").unwrap());
