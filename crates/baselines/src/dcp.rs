@@ -195,6 +195,7 @@ impl DcpLike {
             &self.pool,
             &self.sink,
             self.failures.clone(),
+            None, // baselines persist no telemetry artifacts
         )?;
         Ok(DcpSaveOutcome { ticket, allgather, regularize_time })
     }
@@ -215,6 +216,7 @@ impl DcpLike {
             &self.sink,
             self.failures.clone(),
             0,
+            None, // baselines persist no telemetry artifacts
         )?;
         Ok(LoadOutcome { report, loader: None })
     }

@@ -66,6 +66,7 @@ impl McpLike {
             &self.pool,
             &self.sink,
             self.failures.clone(),
+            None, // baselines persist no telemetry artifacts
         )
     }
 
@@ -82,6 +83,7 @@ impl McpLike {
             &self.sink,
             self.failures.clone(),
             0,
+            None, // baselines persist no telemetry artifacts
         )?;
         Ok(LoadOutcome { report, loader: None })
     }

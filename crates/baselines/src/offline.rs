@@ -16,7 +16,7 @@ use bcp_core::integrity::{commit_checkpoint, FailureLog};
 use bcp_core::{BcpError, Result};
 use bcp_model::states::{build_train_state, Framework, TrainState};
 use bcp_model::TransformerConfig;
-use bcp_monitor::MetricsSink;
+use bcp_monitor::{MetricsSink, SpanContext};
 use bcp_storage::DynBackend;
 use bcp_tensor::Tensor;
 use bcp_topology::{Parallelism, ShardSpec};
@@ -91,7 +91,7 @@ pub fn run_offline_reshard_job(
         let plan = local_save_plan(rank, state, "offline-job");
         uploaded += plan.total_bytes();
         let faults = bcp_core::fault::FaultHook::inert(rank);
-        execute_save(&plan, state, backend.clone(), dst_prefix, &pool, &sink, log.clone(), &cfg, meta.step, &faults)?
+        execute_save(&plan, state, backend.clone(), dst_prefix, &pool, &sink, log.clone(), &cfg, meta.step, &faults, SpanContext::none())?
             .wait()?;
         plans.push(plan);
     }
@@ -150,7 +150,7 @@ mod tests {
             TrainerConfig::default().run(&mut state, 0, steps);
             let plan = lsp(rank, &state, "cpu");
             let faults = bcp_core::fault::FaultHook::inert(rank);
-            execute_save(&plan, &state, backend.clone(), prefix, &pool, &sink, log.clone(), &cfg, steps, &faults)
+            execute_save(&plan, &state, backend.clone(), prefix, &pool, &sink, log.clone(), &cfg, steps, &faults, SpanContext::none())
                 .unwrap()
                 .wait()
                 .unwrap();

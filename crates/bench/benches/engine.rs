@@ -69,6 +69,7 @@ fn bench_save_pipeline(c: &mut Criterion) {
                 &SaveConfig { async_upload: false, ..Default::default() },
                 0,
                 &bcp_core::fault::FaultHook::inert(0),
+                bcp_monitor::SpanContext::none(),
             )
             .unwrap()
             .wait()

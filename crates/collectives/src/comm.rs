@@ -147,6 +147,17 @@ impl Communicator {
         self.members.iter().position(|&r| r == self.rank).expect("member")
     }
 
+    /// Short description of the collective backend, attached to barrier and
+    /// all-to-all spans so traces show how the control plane was shaped.
+    pub fn backend_info(&self) -> String {
+        match &self.tree {
+            Some(tree) => {
+                format!("tree(height={}, max_fanin={})", tree.height(), tree.max_fanin())
+            }
+            None => "flat".to_string(),
+        }
+    }
+
     /// Mark THIS rank as failed in the world's rendezvous, making every
     /// in-flight and future collective involving it abort with
     /// `PeerFailed` on the surviving ranks. Fault-injection hooks call this

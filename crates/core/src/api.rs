@@ -33,8 +33,8 @@ use crate::{BcpError, Result};
 use bcp_collectives::Communicator;
 use bcp_dataloader::{LoaderReplicatedState, LoaderShardState};
 use bcp_model::{ExtraState, Framework, TrainState};
-use bcp_monitor::MetricsSink;
-use bcp_storage::CheckpointLocation;
+use bcp_monitor::{MetricsHub, MetricsSink};
+use bcp_storage::{CheckpointLocation, DynBackend, InstrumentedBackend};
 use bcp_topology::Parallelism;
 use std::sync::Arc;
 
@@ -170,6 +170,7 @@ pub struct CheckpointerBuilder {
     registry: Option<Arc<BackendRegistry>>,
     workflow: WorkflowOptions,
     sink: MetricsSink,
+    telemetry: bool,
 }
 
 impl CheckpointerBuilder {
@@ -181,6 +182,7 @@ impl CheckpointerBuilder {
             registry: None,
             workflow: WorkflowOptions::default(),
             sink: MetricsSink::disabled(),
+            telemetry: true,
         }
     }
 
@@ -229,6 +231,18 @@ impl CheckpointerBuilder {
         self
     }
 
+    /// Per-step telemetry artifacts (§5.3): trace every save/load into a
+    /// private hub, wrap storage backends for per-operation spans, and
+    /// persist a `_telemetry.jsonl` next to each committed checkpoint for
+    /// offline analysis with `bcpctl report`. Defaults to **on**.
+    ///
+    /// Persistence gathers all ranks' telemetry at the coordinator, so the
+    /// setting must be identical on every rank of the job.
+    pub fn telemetry(mut self, enabled: bool) -> CheckpointerBuilder {
+        self.telemetry = enabled;
+        self
+    }
+
     /// Build, failing with [`BcpError::Plan`] if a required field is unset.
     pub fn build(self) -> Result<Checkpointer> {
         let framework = self
@@ -240,14 +254,26 @@ impl CheckpointerBuilder {
         let registry = self
             .registry
             .ok_or_else(|| BcpError::Plan("Checkpointer::builder: registry is required".into()))?;
+        // The effective sink fans every event out to the caller's sink AND a
+        // private bounded hub the telemetry artifacts are cut from. Bounded:
+        // a stalled consumer costs events (counted in `dropped_records`),
+        // never memory or training time.
+        let (telemetry, sink) = if self.telemetry {
+            let hub = Arc::new(MetricsHub::bounded(1 << 16));
+            let sink = MetricsSink::fanout(vec![self.sink.clone(), hub.sink()]);
+            (Some(hub), sink)
+        } else {
+            (None, self.sink)
+        };
         Ok(Checkpointer {
             ctx: JobContext { comm: self.comm, framework, parallelism },
             registry,
             options: self.workflow,
-            sink: self.sink,
+            sink,
             cache: Arc::new(PlanCache::new()),
             pool: PinnedPool::new(2),
             failures: Arc::new(FailureLog::new()),
+            telemetry,
         })
     }
 }
@@ -262,6 +288,7 @@ pub struct Checkpointer {
     cache: Arc<PlanCache>,
     pool: Arc<PinnedPool>,
     failures: Arc<FailureLog>,
+    telemetry: Option<Arc<MetricsHub>>,
 }
 
 impl Checkpointer {
@@ -287,6 +314,7 @@ impl Checkpointer {
             cache: Arc::new(PlanCache::new()),
             pool: PinnedPool::new(2),
             failures: Arc::new(FailureLog::new()),
+            telemetry: None,
         }
     }
 
@@ -305,13 +333,31 @@ impl Checkpointer {
         self.cache.stats()
     }
 
+    /// The private telemetry hub (when telemetry is enabled): the live span
+    /// trees and records the per-step artifacts are cut from.
+    pub fn telemetry_hub(&self) -> Option<&Arc<MetricsHub>> {
+        self.telemetry.as_ref()
+    }
+
+    /// Wrap a resolved backend so every storage operation emits a
+    /// `storage/<backend>/<op>` span, parented under whichever workflow
+    /// phase issued it.
+    fn instrumented(&self, backend: DynBackend) -> DynBackend {
+        match &self.telemetry {
+            Some(_) => {
+                Arc::new(InstrumentedBackend::new(backend, self.sink.clone(), self.rank()))
+            }
+            None => backend,
+        }
+    }
+
     /// `bytecheckpoint.save`: checkpoint the given states under the
     /// request's location. Returns a ticket whose `blocking` is the
     /// checkpoint stall; `wait()` joins the asynchronous tail (upload,
     /// barrier, commit).
     pub fn save(&self, req: &SaveRequest<'_>) -> Result<SaveTicket> {
         let uri = req.location.uri();
-        let backend = self.registry.resolve(uri)?;
+        let backend = self.instrumented(self.registry.resolve(uri)?);
         save_checkpoint(
             &self.ctx,
             backend,
@@ -322,6 +368,7 @@ impl Checkpointer {
             &self.pool,
             &self.sink,
             self.failures.clone(),
+            self.telemetry.clone(),
         )
     }
 
@@ -330,7 +377,7 @@ impl Checkpointer {
     /// changed.
     pub fn load(&self, req: &mut LoadRequest<'_>) -> Result<LoadOutcome> {
         let uri = req.location.uri().clone();
-        let backend = self.registry.resolve(&uri)?;
+        let backend = self.instrumented(self.registry.resolve(&uri)?);
         let report = load_checkpoint(
             &self.ctx,
             backend.clone(),
@@ -340,6 +387,7 @@ impl Checkpointer {
             &self.sink,
             self.failures.clone(),
             0,
+            self.telemetry.clone(),
         )?;
         let loader = match req.loader_target {
             Some((dp, workers, my_dp)) => {

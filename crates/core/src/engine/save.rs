@@ -13,7 +13,7 @@ use crate::integrity::{with_retries, FailureLog, RetryPolicy};
 use crate::plan::SavePlan;
 use crate::{BcpError, Result};
 use bcp_model::TrainState;
-use bcp_monitor::MetricsSink;
+use bcp_monitor::{enter_context, MetricsSink, SpanContext};
 use bcp_storage::DynBackend;
 use bytes::{Bytes, BytesMut};
 use std::collections::BTreeMap;
@@ -103,6 +103,7 @@ pub fn execute_save(
     cfg: &SaveConfig,
     step: u64,
     faults: &FaultHook,
+    parent: SpanContext,
 ) -> Result<SaveHandle> {
     let rank = plan.rank;
     let started = Instant::now();
@@ -112,7 +113,7 @@ pub fn execute_save(
     let capture_timer = Instant::now();
     let mut captured: Vec<Bytes> = Vec::with_capacity(plan.items.len());
     {
-        let _t = sink.timer("save/d2h", rank, step).bytes(plan.total_bytes());
+        let _t = sink.span_under("save/d2h", rank, step, parent).bytes(plan.total_bytes());
         for item in &plan.items {
             let dict = match item.category {
                 crate::plan::Category::Model => &state.model,
@@ -152,7 +153,7 @@ pub fn execute_save(
         let expected = plan.byte_metas();
         let mut files: BTreeMap<String, BytesMut> = BTreeMap::new();
         {
-            let _t = sink.timer("save/serialize", rank, step).bytes(plan.total_bytes());
+            let _t = sink.span_under("save/serialize", rank, step, parent).bytes(plan.total_bytes());
             for ((item, payload), bm) in plan.items.iter().zip(&captured).zip(&expected) {
                 let buf = files.entry(bm.file.clone()).or_default();
                 let base = buf.len() as u64;
@@ -167,21 +168,35 @@ pub fn execute_save(
         }
         // Dump: freeze the buffers (the shared-memory staging step).
         let staged: Vec<(String, Bytes)> = {
-            let _t = sink.timer("save/dump", rank, step);
-            files.into_iter().map(|(f, b)| (f, b.freeze())).collect()
+            let mut t = sink.span_under("save/dump", rank, step, parent);
+            let staged: Vec<(String, Bytes)> =
+                files.into_iter().map(|(f, b)| (f, b.freeze())).collect();
+            t.add_bytes(staged.iter().map(|(_, d)| d.len() as u64).sum());
+            staged
         };
         // Upload, splitting large files into concurrently-written parts.
         faults.check("save/upload")?;
         let mut total = 0u64;
         let nfiles = staged.len();
         {
-            let mut t = sink.timer("save/upload", rank, step);
+            let mut t = sink.span_under("save/upload", rank, step, parent);
+            let _in_upload = t.enter();
             for (file, data) in staged {
                 total += data.len() as u64;
                 t.add_bytes(data.len() as u64);
                 let path = format!("{prefix}/{file}");
+                // Per-file detail span (uncounted: the phase span above
+                // already carries the time) so traces show which file was
+                // slow; instrumented backends nest their op spans under it.
+                let mut f = sink
+                    .span_under("save/upload-file", rank, step, t.context())
+                    .uncounted()
+                    .path(path.clone())
+                    .bytes(data.len() as u64);
+                let _in_file = f.enter();
                 if data.len() as u64 > cfg2.split_threshold && cfg2.split_parts > 1 {
-                    upload_split(&backend, &path, &data, &cfg2, &log, rank)?;
+                    f.set_attr("split_parts", cfg2.split_parts.to_string());
+                    upload_split(&backend, &path, &data, &cfg2, &log, rank, f.context())?;
                 } else {
                     with_retries(cfg2.retries, &log, rank, "save/upload", Some(&path), || {
                         backend.write(&path, data.clone())
@@ -211,6 +226,7 @@ pub fn execute_save(
 
 /// §4.3 split upload: write `split_parts` sub-files concurrently, then
 /// metadata-concat them into the target path.
+#[allow(clippy::too_many_arguments)]
 fn upload_split(
     backend: &DynBackend,
     path: &str,
@@ -218,6 +234,7 @@ fn upload_split(
     cfg: &SaveConfig,
     log: &Arc<FailureLog>,
     rank: usize,
+    parent: SpanContext,
 ) -> Result<()> {
     let parts: Vec<(String, Bytes)> = (0..cfg.split_parts)
         .map(|i| {
@@ -234,6 +251,9 @@ fn upload_split(
             let log = log.clone();
             let retries = cfg.retries;
             handles.push(s.spawn(move || -> Result<()> {
+                // Parent the worker thread's storage spans under the
+                // upload-file span that spawned it.
+                let _e = enter_context(parent);
                 for (name, payload) in chunk {
                     with_retries(retries, &log, rank, "save/upload-part", Some(&name), || {
                         backend.write(&name, payload.clone())
@@ -287,6 +307,7 @@ mod tests {
             &SaveConfig { async_upload: false, ..Default::default() },
             0,
             &FaultHook::inert(0),
+            SpanContext::none(),
         )
         .unwrap();
         let stats = handle.wait().unwrap();
@@ -339,6 +360,7 @@ mod tests {
             &plan, &state, slow, "ckpt", &pool, &sink, log,
             &SaveConfig { async_upload: true, ..Default::default() }, 0,
             &FaultHook::inert(0),
+            SpanContext::none(),
         )
         .unwrap();
         let blocking = handle.blocking();
@@ -373,6 +395,7 @@ mod tests {
             &cfg,
             0,
             &FaultHook::inert(0),
+            SpanContext::none(),
         )
         .unwrap()
         .wait()
@@ -399,6 +422,7 @@ mod tests {
             &plan, &state, flaky, "ckpt", &pool, &sink, log.clone(),
             &SaveConfig { async_upload: false, ..Default::default() }, 0,
             &FaultHook::inert(0),
+            SpanContext::none(),
         )
         .unwrap();
         assert!(handle.wait().is_ok());

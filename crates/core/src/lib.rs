@@ -19,6 +19,7 @@
 //! | Appendix B integrity barrier, retries, failure logging | [`integrity`] |
 //! | Appendix B stage-level crash injection for recovery tests | [`fault`] |
 //! | §3.1 `bytecheckpoint.save` / `.load` API (Fig. 5) | [`api`] |
+//! | §5.3 persisted per-step telemetry artifacts | [`telemetry`] |
 //! | Appendix F safetensors export | [`export`] |
 //! | §2.1/§5.1 retention & garbage collection | [`manager`] |
 //!
@@ -39,6 +40,7 @@ pub mod metadata;
 pub mod plan;
 pub mod planner;
 pub mod registry;
+pub mod telemetry;
 pub mod workflow;
 
 pub use api::{Checkpointer, CheckpointerBuilder, CheckpointerOptions, LoadRequest, SaveRequest};

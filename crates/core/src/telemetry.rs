@@ -1,0 +1,200 @@
+//! Per-step telemetry persistence (§5.3).
+//!
+//! After a checkpoint commits, every rank snapshots its private metrics hub
+//! into a [`RankTelemetry`] line, the coordinator gathers all lines, and the
+//! artifact is written *next to the checkpoint* through the same storage
+//! backend as the data itself (`_telemetry.jsonl` for saves,
+//! `_telemetry_load.jsonl` for loads). `bcpctl report` reconstructs heat
+//! maps, breakdowns, critical paths, and alerts entirely offline from these
+//! artifacts — no live process required.
+//!
+//! Persistence is strictly best-effort and happens only *after* the
+//! `COMPLETE` marker exists: a torn save never leaves a telemetry file
+//! behind (so GC of torn steps needs no special casing), and a telemetry
+//! write failure degrades observability without failing the checkpoint.
+
+use crate::integrity::FailureLog;
+use crate::{BcpError, Result};
+use bcp_collectives::Communicator;
+use bcp_monitor::{FailureExcerpt, MetricsHub, RankTelemetry, StepTelemetry};
+use bcp_storage::DynBackend;
+use bytes::Bytes;
+
+/// Snapshot one rank's contribution to the step artifact from its private
+/// hub and failure log. Only records and spans stamped with `step` *and*
+/// belonging to `op` (spans: root ancestor named `op`; flat records: name
+/// under the op's prefix) are included, so back-to-back steps — and a save
+/// then a load of the same step — through one `Checkpointer` stay separated.
+pub fn collect_rank_telemetry(
+    hub: &MetricsHub,
+    log: &FailureLog,
+    rank: usize,
+    step: u64,
+    op: &str,
+) -> RankTelemetry {
+    hub.drain();
+    let barrier = format!("sync/{op}_barrier");
+    let op_prefix = format!("{op}/");
+    let records = hub
+        .flat_records()
+        .into_iter()
+        .filter(|r| r.step == step && r.rank == rank)
+        .filter(|r| r.name.starts_with(&op_prefix) || r.name == barrier)
+        .collect();
+    let stepped: Vec<_> =
+        hub.spans().into_iter().filter(|s| s.step == step && s.rank == rank).collect();
+    let names: std::collections::HashMap<u64, (Option<u64>, String)> =
+        stepped.iter().map(|s| (s.id, (s.parent, s.name.clone()))).collect();
+    let root_name = |mut id: u64| -> String {
+        loop {
+            match names.get(&id) {
+                Some((Some(parent), _)) if names.contains_key(parent) => id = *parent,
+                Some((_, name)) => return name.clone(),
+                None => return String::new(),
+            }
+        }
+    };
+    // Roots are named exactly `op` in the workflow; orphaned phase spans
+    // (direct engine use, no workflow root) still qualify by prefix.
+    let spans = stepped
+        .iter()
+        .filter(|s| {
+            let root = root_name(s.id);
+            root == op || root.starts_with(&op_prefix) || root == barrier
+        })
+        .cloned()
+        .collect();
+    let failures = log
+        .records()
+        .into_iter()
+        .filter(|f| f.rank == rank)
+        .map(|f| FailureExcerpt {
+            rank: f.rank,
+            stage: f.stage,
+            path: f.path,
+            attempt: f.attempt,
+            error: f.error,
+            retried: f.retried,
+        })
+        .collect();
+    RankTelemetry {
+        rank,
+        step,
+        op: op.to_string(),
+        records,
+        spans,
+        failures,
+        dropped_records: hub.dropped_records(),
+    }
+}
+
+/// Gather every rank's [`RankTelemetry`] at the coordinator and write the
+/// JSONL artifact `{prefix}/{file}` through `backend`. Collective: every
+/// member of `comm` must call it (telemetry must therefore be enabled
+/// uniformly across ranks).
+pub fn persist_step_telemetry(
+    comm: &Communicator,
+    backend: &DynBackend,
+    prefix: &str,
+    mine: RankTelemetry,
+    file: &str,
+) -> Result<()> {
+    let coordinator = comm.members()[0];
+    if let Some(lines) = comm.gather(coordinator, mine)? {
+        let doc = StepTelemetry { ranks: lines };
+        backend
+            .write(&format!("{prefix}/{file}"), Bytes::from(doc.to_jsonl()))
+            .map_err(BcpError::Storage)?;
+    }
+    Ok(())
+}
+
+/// Read a persisted step artifact back, if present. Returns `Ok(None)` when
+/// the step has no artifact (telemetry disabled, or saved by an older
+/// version) and `Err` only on storage/parse failures.
+pub fn read_step_telemetry(
+    backend: &DynBackend,
+    prefix: &str,
+    file: &str,
+) -> Result<Option<StepTelemetry>> {
+    let path = format!("{prefix}/{file}");
+    if !backend.exists(&path).map_err(BcpError::Storage)? {
+        return Ok(None);
+    }
+    let raw = backend.read(&path).map_err(BcpError::Storage)?;
+    let text = String::from_utf8(raw.to_vec())
+        .map_err(|_| BcpError::Corrupt(format!("{path} is not UTF-8")))?;
+    StepTelemetry::from_jsonl(&text)
+        .map(Some)
+        .map_err(|e| BcpError::Corrupt(format!("{path}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrity::FailureRecord;
+    use bcp_collectives::{Backend, CommWorld};
+    use bcp_storage::MemoryBackend;
+    use std::sync::Arc;
+
+    #[test]
+    fn collect_filters_by_step_and_maps_failures() {
+        let hub = MetricsHub::new();
+        let sink = hub.sink();
+        drop(sink.span("save/dump", 0, 7).bytes(64));
+        drop(sink.span("save/dump", 0, 8)); // different step: excluded
+        let log = FailureLog::new();
+        log.log(FailureRecord {
+            rank: 0,
+            stage: "save/upload".into(),
+            path: Some("ckpt/x.bin".into()),
+            attempt: 1,
+            error: "timeout".into(),
+            retried: true,
+        });
+        log.log(FailureRecord {
+            rank: 3,
+            stage: "save/upload".into(),
+            path: None,
+            attempt: 1,
+            error: "other rank".into(),
+            retried: false,
+        });
+        let t = collect_rank_telemetry(&hub, &log, 0, 7, "save");
+        assert_eq!(t.spans.len(), 1);
+        assert_eq!(t.spans[0].step, 7);
+        assert_eq!(t.failures.len(), 1);
+        assert_eq!(t.failures[0].path.as_deref(), Some("ckpt/x.bin"));
+        assert_eq!(t.op, "save");
+    }
+
+    #[test]
+    fn persist_and_read_roundtrip_across_ranks() {
+        let world = CommWorld::new(2, Backend::Flat);
+        let backend: DynBackend = Arc::new(MemoryBackend::new());
+        let handles: Vec<_> = (0..2)
+            .map(|rank| {
+                let comm = world.communicator(rank).unwrap();
+                let backend = backend.clone();
+                std::thread::spawn(move || {
+                    let hub = MetricsHub::new();
+                    drop(hub.sink().span("save/dump", rank, 5).bytes(128));
+                    let mine =
+                        collect_rank_telemetry(&hub, &FailureLog::new(), rank, 5, "save");
+                    persist_step_telemetry(&comm, &backend, "job/step_5", mine, "_telemetry.jsonl")
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+        let doc = read_step_telemetry(&backend, "job/step_5", "_telemetry.jsonl")
+            .unwrap()
+            .expect("artifact written");
+        assert_eq!(doc.ranks.len(), 2);
+        assert_eq!(doc.step(), Some(5));
+        assert!(read_step_telemetry(&backend, "job/step_9", "_telemetry.jsonl")
+            .unwrap()
+            .is_none());
+    }
+}

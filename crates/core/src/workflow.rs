@@ -13,7 +13,7 @@ use crate::engine::load::{execute_load, LoadConfig, LoadStats};
 use crate::engine::pool::PinnedPool;
 use crate::engine::save::{execute_save, SaveConfig, SaveStats};
 use crate::fault::{FaultHook, FaultPlan};
-use crate::integrity::{commit_checkpoint, is_committed, with_retries, FailureLog};
+use crate::integrity::{commit_checkpoint, is_committed, with_retries, FailureLog, FailureRecord};
 use crate::metadata::{
     GlobalMetadata, LoaderMap, LoaderShardFileEntry, COMPLETE_MARKER, METADATA_FILE,
 };
@@ -23,11 +23,12 @@ use crate::planner::balance::{
 };
 use crate::planner::cache::{CachedSave, PlanCache};
 use crate::planner::planner_for;
+use crate::telemetry::{collect_rank_telemetry, persist_step_telemetry};
 use crate::{BcpError, Result};
 use bcp_collectives::Communicator;
 use bcp_dataloader::{LoaderReplicatedState, LoaderShardState};
 use bcp_model::{ExtraState, Framework, TrainState};
-use bcp_monitor::MetricsSink;
+use bcp_monitor::{enter_context, MetricsHub, MetricsSink, TELEMETRY_LOAD_FILE, TELEMETRY_SAVE_FILE};
 use bcp_storage::DynBackend;
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
@@ -138,6 +139,7 @@ pub fn save_checkpoint(
     pool: &Arc<PinnedPool>,
     sink: &MetricsSink,
     log: Arc<FailureLog>,
+    telemetry: Option<Arc<MetricsHub>>,
 ) -> Result<SaveTicket> {
     let rank = ctx.rank();
     let step = args.step;
@@ -151,6 +153,14 @@ pub fn save_checkpoint(
     };
     faults.check("save/plan")?;
     let blocking_start = Instant::now();
+    // Root span for the whole save. Uncounted: phase spans below it carry
+    // the durations that feed the per-phase aggregations.
+    let root = sink
+        .span("save", rank, step)
+        .uncounted()
+        .attr("prefix", prefix)
+        .attr("parallelism", ctx.parallelism.describe())
+        .attr("backend", backend.name());
 
     // ---- Planning (Fig. 8 steps 2-4, save direction), cache-aware. ----
     let sig = PlanCache::signature(
@@ -175,7 +185,7 @@ pub fn save_checkpoint(
         }
         (c.plan.clone(), meta)
     } else {
-        let _t = sink.timer("save/plan", rank, step);
+        let _t = root.child("save/plan");
         let local = planner.local_save_plan(rank, args.state)?;
         let msg = LocalSaveMsg {
             plan: local,
@@ -235,6 +245,7 @@ pub fn save_checkpoint(
         &options.save,
         step,
         &faults,
+        root.context(),
     )?;
     let blocking = blocking_start.elapsed();
 
@@ -244,14 +255,15 @@ pub fn save_checkpoint(
     let comm = ctx.comm.clone();
     let coordinator = ctx.coordinator();
     let prefix2 = prefix.to_string();
-    let sink2 = sink.clone();
     let retries = options.save.retries;
     let finalize = move || -> Result<SaveStats> {
+        let mut root = root;
         // Upload dataloader shard files concurrently ("we implemented a
         // process pool for concurrent uploads", §6.4) and the extra state.
         faults.check("save/loader")?;
         {
-            let mut t = sink2.timer("save/loader", rank, step);
+            let mut t = root.child("save/loader");
+            let tctx = t.context();
             std::thread::scope(|s| -> Result<()> {
                 let mut handles = Vec::new();
                 for (file, data) in &loader_payloads {
@@ -260,6 +272,8 @@ pub fn save_checkpoint(
                     let path = format!("{prefix2}/{file}");
                     let data = data.clone();
                     handles.push(s.spawn(move || {
+                        // Parent the worker's storage spans under the phase.
+                        let _e = enter_context(tctx);
                         with_retries(retries, &log, rank, "save/loader", Some(&path), || {
                             backend.write(&path, data.clone())
                         })
@@ -274,8 +288,9 @@ pub fn save_checkpoint(
         }
         faults.check("save/extra")?;
         if let Some((file, data)) = &extra_payload {
-            let _t = sink2.timer("save/extra", rank, step).bytes(data.len() as u64);
             let path = format!("{prefix2}/{file}");
+            let t = root.child("save/extra").bytes(data.len() as u64).path(path.clone());
+            let _in_extra = t.enter();
             with_retries(retries, &log, rank, "save/extra", Some(&path), || {
                 backend.write(&path, data.clone())
             })?;
@@ -285,7 +300,7 @@ pub fn save_checkpoint(
         // coordinator alone commits.
         faults.check("save/barrier")?;
         {
-            let _t = sink2.timer("sync/save_barrier", rank, step);
+            let _t = root.child("sync/save_barrier").attr("collective", comm.backend_info());
             comm.barrier()?;
         }
         if rank == coordinator {
@@ -295,10 +310,19 @@ pub fn save_checkpoint(
             })?;
             let meta_path = format!("{prefix2}/{METADATA_FILE}");
             let meta_bytes = Bytes::from(meta.to_bytes());
-            with_retries(retries, &log, rank, "save/metadata", Some(&meta_path), || {
-                backend.write(&meta_path, meta_bytes.clone())
-            })?;
+            {
+                let t = root
+                    .child("save/metadata")
+                    .bytes(meta_bytes.len() as u64)
+                    .path(meta_path.clone());
+                let _in_meta = t.enter();
+                with_retries(retries, &log, rank, "save/metadata", Some(&meta_path), || {
+                    backend.write(&meta_path, meta_bytes.clone())
+                })?;
+            }
             faults.check("save/commit")?;
+            let t = root.child("save/commit").path(prefix2.clone());
+            let _in_commit = t.enter();
             with_retries(retries, &log, rank, "save/commit", Some(&prefix2), || {
                 match commit_checkpoint(&backend, &prefix2) {
                     Ok(()) => Ok(()),
@@ -306,6 +330,26 @@ pub fn save_checkpoint(
                     Err(_) => unreachable!("commit only produces storage errors"),
                 }
             })?;
+            root.event("commit");
+        }
+        // The checkpoint is committed: close the root span and persist the
+        // step's telemetry artifact next to the data (best-effort — a
+        // telemetry failure degrades observability, never the checkpoint).
+        drop(root);
+        if let Some(hub) = &telemetry {
+            let mine = collect_rank_telemetry(hub, &log, rank, step, "save");
+            if let Err(e) =
+                persist_step_telemetry(&comm, &backend, &prefix2, mine, TELEMETRY_SAVE_FILE)
+            {
+                log.log(FailureRecord {
+                    rank,
+                    stage: "save/telemetry".into(),
+                    path: Some(format!("{prefix2}/{TELEMETRY_SAVE_FILE}")),
+                    attempt: 1,
+                    error: e.to_string(),
+                    retried: false,
+                });
+            }
         }
         // Second barrier: the commit is visible to every rank once their
         // ticket resolves, so a rank may immediately load what it saved.
@@ -393,12 +437,22 @@ pub fn load_checkpoint(
     sink: &MetricsSink,
     log: Arc<FailureLog>,
     step_hint: u64,
+    telemetry: Option<Arc<MetricsHub>>,
 ) -> Result<LoadReport> {
     let rank = ctx.rank();
     let faults = {
         let comm = ctx.comm.clone();
         FaultHook::new(options.faults.clone(), rank).with_on_kill(move || comm.mark_self_failed())
     };
+    // Root span for the whole load. The true step is only known once the
+    // metadata is parsed, so the root starts on the caller's hint and is
+    // restamped below.
+    let mut root = sink
+        .span("load", rank, step_hint)
+        .uncounted()
+        .attr("prefix", prefix)
+        .attr("parallelism", ctx.parallelism.describe())
+        .attr("backend", backend.name());
     // Step 1: all ranks load the global metadata (committed checkpoints only).
     faults.check("load/metadata")?;
     if !is_committed(&backend, prefix)? {
@@ -407,20 +461,29 @@ pub fn load_checkpoint(
         )));
     }
     let meta_path = format!("{prefix}/{METADATA_FILE}");
-    let meta_bytes = with_retries(
-        options.load.retries,
-        &log,
-        rank,
-        "load/metadata",
-        Some(&meta_path),
-        || backend.read(&meta_path),
-    )?;
-    let metadata = GlobalMetadata::from_bytes(&meta_bytes).map_err(BcpError::Corrupt)?;
-    metadata.validate().map_err(BcpError::Corrupt)?;
+    let metadata = {
+        let mut t = root.child("load/metadata").path(meta_path.clone());
+        let _in_meta = t.enter();
+        let meta_bytes = with_retries(
+            options.load.retries,
+            &log,
+            rank,
+            "load/metadata",
+            Some(&meta_path),
+            || backend.read(&meta_path),
+        )?;
+        t.add_bytes(meta_bytes.len() as u64);
+        let metadata = GlobalMetadata::from_bytes(&meta_bytes).map_err(BcpError::Corrupt)?;
+        metadata.validate().map_err(BcpError::Corrupt)?;
+        t.set_step(metadata.step);
+        metadata
+    };
+    let step = metadata.step;
+    root.set_step(step);
 
     // Step 2: local load plan (box matching).
     let local: LoadPlan = {
-        let _t = sink.timer("load/plan", rank, step_hint);
+        let _t = root.child("load/plan");
         local_load_plan(rank, state, &metadata)?
     };
 
@@ -454,8 +517,9 @@ pub fn load_checkpoint(
         sink,
         log.clone(),
         &options.load,
-        step_hint,
+        step,
         &faults,
+        root.context(),
     )?;
 
     // Extra state: this rank's file, else the coordinator's (world grew).
@@ -468,6 +532,8 @@ pub fn load_checkpoint(
         match file {
             Some(f) => {
                 let path = format!("{prefix}/{f}");
+                let mut t = root.child("load/extra").path(path.clone());
+                let _in_extra = t.enter();
                 let data = with_retries(
                     options.load.retries,
                     &log,
@@ -476,6 +542,7 @@ pub fn load_checkpoint(
                     Some(&path),
                     || backend.read(&path),
                 )?;
+                t.add_bytes(data.len() as u64);
                 Some(ExtraState::unpack(&data).ok_or_else(|| {
                     BcpError::Corrupt(format!("extra state file {f} is unreadable"))
                 })?)
@@ -487,8 +554,26 @@ pub fn load_checkpoint(
     // Step 6: the optimized collective barrier guarantees atomicity.
     faults.check("load/barrier")?;
     {
-        let _t = sink.timer("sync/load_barrier", rank, step_hint);
+        let _t = root.child("sync/load_barrier").attr("collective", ctx.comm.backend_info());
         ctx.comm.barrier()?;
+    }
+    // Close the root span, then persist this load's telemetry next to the
+    // checkpoint (best-effort, separate artifact from the save's).
+    drop(root);
+    if let Some(hub) = &telemetry {
+        let mine = collect_rank_telemetry(hub, &log, rank, step, "load");
+        if let Err(e) =
+            persist_step_telemetry(&ctx.comm, &backend, prefix, mine, TELEMETRY_LOAD_FILE)
+        {
+            log.log(FailureRecord {
+                rank,
+                stage: "load/telemetry".into(),
+                path: Some(format!("{prefix}/{TELEMETRY_LOAD_FILE}")),
+                attempt: 1,
+                error: e.to_string(),
+                retried: false,
+            });
+        }
     }
     Ok(LoadReport { stats, metadata, extra })
 }

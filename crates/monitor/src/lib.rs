@@ -5,20 +5,38 @@
 //!
 //! * [`MetricsSink`] — a cheap, cloneable handle training/engine threads use
 //!   to record scoped timings ([`MetricsSink::timer`], the Rust analogue of
-//!   the paper's context-manager/decorator metrics syntax) and I/O sizes.
-//!   Records flow over a background channel (the paper's message queue) to
-//!   the [`MetricsHub`].
+//!   the paper's context-manager/decorator metrics syntax), I/O sizes, and
+//!   hierarchical [`span`]s. Events flow over a background channel (the
+//!   paper's message queue) to the [`MetricsHub`].
 //! * [`MetricsHub`] — drains and aggregates records; answers the queries the
-//!   visualizations need (per-rank phase totals, per-phase breakdowns).
+//!   visualizations need (per-rank phase totals, per-phase breakdowns). Has
+//!   a bounded-capacity mode ([`MetricsHub::bounded`]) with a
+//!   dropped-events counter for runs that never drain.
+//! * [`span`] — hierarchical tracing: span id + parent id, attributes,
+//!   events; one save step becomes a navigable trace tree.
+//! * [`telemetry`] — the persisted per-step artifact (`_telemetry.jsonl`):
+//!   records + span tree + failure excerpts, written next to each committed
+//!   checkpoint so analysis works offline.
+//! * [`analysis`] — per-phase p50/p95/p99, cross-rank critical-path
+//!   detection, regression checks against a rolling baseline.
+//! * [`export`] — Chrome trace-event JSON (Perfetto-loadable) and CSV.
 //! * [`heatmap`] — the Fig. 11 visualization: a rank-topology heat map of
 //!   end-to-end saving time, rendered as ASCII + CSV.
 //! * [`breakdown`] — the Fig. 12 visualization: per-phase duration bars for
 //!   one rank.
 
+pub mod analysis;
 pub mod breakdown;
+pub mod export;
 pub mod heatmap;
 pub mod metrics;
+pub mod span;
+pub mod telemetry;
 
 pub use breakdown::render_breakdown;
 pub use heatmap::{render_heatmap, HeatmapSpec};
-pub use metrics::{MetricRecord, MetricsHub, MetricsSink, TimerGuard};
+pub use metrics::{MetricRecord, MetricsHub, MetricsSink, TelemetryEvent, TimerGuard};
+pub use span::{enter_context, EnterGuard, SpanContext, SpanEvent, SpanGuard, SpanRecord};
+pub use telemetry::{
+    FailureExcerpt, RankTelemetry, StepTelemetry, TELEMETRY_LOAD_FILE, TELEMETRY_SAVE_FILE,
+};

@@ -1,9 +1,13 @@
-//! Metric collection: scoped timers flowing over a background channel.
+//! Metric collection: scoped timers and spans flowing over a background
+//! channel.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::span::SpanRecord;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One collected measurement: "the duration and I/O size of each operation,
@@ -34,12 +38,43 @@ impl MetricRecord {
             Some(self.io_bytes as f64 / self.duration.as_secs_f64())
         }
     }
+
+    /// Flatten a span into the record form the aggregations consume.
+    pub fn from_span(span: &SpanRecord) -> MetricRecord {
+        MetricRecord {
+            name: span.name.clone(),
+            rank: span.rank,
+            step: span.step,
+            duration: span.duration,
+            io_bytes: span.io_bytes,
+            path: span.path.clone(),
+        }
+    }
+}
+
+/// What flows over the channel: flat records (legacy timers) and spans.
+#[derive(Debug, Clone)]
+pub enum TelemetryEvent {
+    /// A flat metric record from [`MetricsSink::record`] / [`TimerGuard`].
+    Metric(MetricRecord),
+    /// A completed span from a [`crate::SpanGuard`].
+    Span(SpanRecord),
+}
+
+#[derive(Clone)]
+enum SinkInner {
+    /// Channel into one hub (or into nowhere, for disabled sinks).
+    Chan(Sender<TelemetryEvent>),
+    /// Duplicate every event into several sinks (user hub + private
+    /// telemetry hub).
+    Fanout(Arc<Vec<MetricsSink>>),
 }
 
 /// Cloneable producer handle. Cheap enough to pass to every worker thread.
 #[derive(Clone)]
 pub struct MetricsSink {
-    tx: Sender<MetricRecord>,
+    inner: SinkInner,
+    dropped: Arc<AtomicU64>,
 }
 
 impl MetricsSink {
@@ -47,12 +82,36 @@ impl MetricsSink {
     /// disabled). Records are dropped when the paired receiver is gone.
     pub fn disabled() -> MetricsSink {
         let (tx, _rx) = unbounded();
-        MetricsSink { tx }
+        MetricsSink { inner: SinkInner::Chan(tx), dropped: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// A sink duplicating every event into each of `sinks` (e.g. the user's
+    /// hub plus the checkpointer's private telemetry hub).
+    pub fn fanout(sinks: Vec<MetricsSink>) -> MetricsSink {
+        MetricsSink { inner: SinkInner::Fanout(Arc::new(sinks)), dropped: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// Emit an event. Never blocks: on a full bounded hub (or a hub that is
+    /// gone) the event is dropped and counted in
+    /// [`MetricsHub::dropped_records`].
+    pub fn emit(&self, ev: TelemetryEvent) {
+        match &self.inner {
+            SinkInner::Chan(tx) => {
+                if tx.try_send(ev).is_err() {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            SinkInner::Fanout(sinks) => {
+                for sink in sinks.iter() {
+                    sink.emit(ev.clone());
+                }
+            }
+        }
     }
 
     /// Emit a pre-built record.
     pub fn record(&self, rec: MetricRecord) {
-        let _ = self.tx.send(rec); // hub gone = monitoring disabled; drop
+        self.emit(TelemetryEvent::Metric(rec));
     }
 
     /// Start a scoped timer; the record is emitted when the guard drops.
@@ -123,9 +182,11 @@ impl Drop for TimerGuard {
 
 /// Consumer side: drains the channel and serves aggregate queries.
 pub struct MetricsHub {
-    tx: Sender<MetricRecord>,
-    rx: Receiver<MetricRecord>,
-    collected: Mutex<Vec<MetricRecord>>,
+    tx: Sender<TelemetryEvent>,
+    rx: Receiver<TelemetryEvent>,
+    flat: Mutex<Vec<MetricRecord>>,
+    span_store: Mutex<Vec<SpanRecord>>,
+    dropped: Arc<AtomicU64>,
 }
 
 impl Default for MetricsHub {
@@ -135,69 +196,138 @@ impl Default for MetricsHub {
 }
 
 impl MetricsHub {
-    /// Create a hub with its own channel.
+    /// Create a hub with its own unbounded channel.
     pub fn new() -> MetricsHub {
         let (tx, rx) = unbounded();
-        MetricsHub { tx, rx, collected: Mutex::new(Vec::new()) }
+        MetricsHub {
+            tx,
+            rx,
+            flat: Mutex::new(Vec::new()),
+            span_store: Mutex::new(Vec::new()),
+            dropped: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Create a hub whose channel holds at most `capacity` undrained events.
+    /// Producers never block: overflowing events are dropped and counted in
+    /// [`MetricsHub::dropped_records`], bounding memory on runs that never
+    /// drain.
+    pub fn bounded(capacity: usize) -> MetricsHub {
+        let (tx, rx) = bounded(capacity);
+        MetricsHub {
+            tx,
+            rx,
+            flat: Mutex::new(Vec::new()),
+            span_store: Mutex::new(Vec::new()),
+            dropped: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// Producer handle for worker threads.
     pub fn sink(&self) -> MetricsSink {
-        MetricsSink { tx: self.tx.clone() }
+        MetricsSink { inner: SinkInner::Chan(self.tx.clone()), dropped: self.dropped.clone() }
+    }
+
+    /// Events dropped by this hub's sinks (bounded channel full, or the hub
+    /// already gone). Non-zero means the collected data is incomplete.
+    pub fn dropped_records(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Pull everything pending off the channel into the store.
     pub fn drain(&self) {
-        let mut collected = self.collected.lock();
-        while let Ok(rec) = self.rx.try_recv() {
-            collected.push(rec);
+        let mut flat = self.flat.lock();
+        let mut spans = self.span_store.lock();
+        while let Ok(ev) = self.rx.try_recv() {
+            match ev {
+                TelemetryEvent::Metric(rec) => flat.push(rec),
+                TelemetryEvent::Span(span) => spans.push(span),
+            }
         }
     }
 
-    /// Snapshot of all records collected so far.
+    /// Snapshot of all records collected so far: flat records plus every
+    /// *counted* span flattened to record form, so span-instrumented phases
+    /// feed the same heat-map/breakdown queries as legacy timers.
     pub fn records(&self) -> Vec<MetricRecord> {
         self.drain();
-        self.collected.lock().clone()
+        let mut out = self.flat.lock().clone();
+        out.extend(self.span_store.lock().iter().filter(|s| s.counted).map(MetricRecord::from_span));
+        out
+    }
+
+    /// Snapshot of only the flat (timer/record) metrics, excluding spans.
+    pub fn flat_records(&self) -> Vec<MetricRecord> {
+        self.drain();
+        self.flat.lock().clone()
+    }
+
+    /// Snapshot of all spans collected so far.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.drain();
+        self.span_store.lock().clone()
     }
 
     /// Discard everything collected so far.
     pub fn clear(&self) {
         self.drain();
-        self.collected.lock().clear();
+        self.flat.lock().clear();
+        self.span_store.lock().clear();
     }
 
     /// Total duration per rank for records whose name has `prefix`.
     /// Feeds the Fig. 11 heat map ("end-to-end checkpoint saving time").
     pub fn total_by_rank(&self, prefix: &str) -> BTreeMap<usize, Duration> {
-        let mut out = BTreeMap::new();
-        for rec in self.records() {
-            if rec.name.starts_with(prefix) {
-                *out.entry(rec.rank).or_insert(Duration::ZERO) += rec.duration;
-            }
-        }
-        out
+        total_by_rank_from(&self.records(), prefix)
     }
 
     /// Total duration per phase name for one rank (Fig. 12 breakdown).
     pub fn breakdown_for_rank(&self, rank: usize) -> BTreeMap<String, Duration> {
-        let mut out = BTreeMap::new();
-        for rec in self.records() {
-            if rec.rank == rank {
-                *out.entry(rec.name).or_insert(Duration::ZERO) += rec.duration;
-            }
-        }
-        out
+        breakdown_from(&self.records(), rank)
     }
 
     /// Records with throughput below `min_bps` — the alerting rule the paper
     /// applies on the storage-client side ("unexpectedly high latency or low
-    /// bandwidth triggers alerts").
+    /// bandwidth triggers alerts"). Scans flat records, counted spans, *and*
+    /// uncounted detail spans (per-file uploads, per-op storage I/Os), so a
+    /// single slow write is caught even when its phase total looks healthy.
     pub fn slow_ios(&self, min_bps: f64) -> Vec<MetricRecord> {
-        self.records()
-            .into_iter()
-            .filter(|r| matches!(r.throughput(), Some(t) if t < min_bps))
-            .collect()
+        let mut all = self.records();
+        all.extend(
+            self.spans().iter().filter(|s| !s.counted).map(MetricRecord::from_span),
+        );
+        slow_ios_from(all, min_bps)
     }
+}
+
+/// Total duration per rank over `records` whose name has `prefix`.
+pub fn total_by_rank_from(records: &[MetricRecord], prefix: &str) -> BTreeMap<usize, Duration> {
+    let mut out = BTreeMap::new();
+    for rec in records {
+        if rec.name.starts_with(prefix) {
+            *out.entry(rec.rank).or_insert(Duration::ZERO) += rec.duration;
+        }
+    }
+    out
+}
+
+/// Total duration per phase name for one rank over `records`.
+pub fn breakdown_from(records: &[MetricRecord], rank: usize) -> BTreeMap<String, Duration> {
+    let mut out = BTreeMap::new();
+    for rec in records {
+        if rec.rank == rank {
+            *out.entry(rec.name.clone()).or_insert(Duration::ZERO) += rec.duration;
+        }
+    }
+    out
+}
+
+/// Records from `records` with throughput below `min_bps`.
+pub fn slow_ios_from(records: Vec<MetricRecord>, min_bps: f64) -> Vec<MetricRecord> {
+    records
+        .into_iter()
+        .filter(|r| matches!(r.throughput(), Some(t) if t < min_bps))
+        .collect()
 }
 
 #[cfg(test)]
@@ -298,5 +428,86 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(hub.records().len(), 800);
+    }
+
+    #[test]
+    fn counted_spans_feed_aggregations_once() {
+        let hub = MetricsHub::new();
+        let sink = hub.sink();
+        {
+            let root = sink.span("save", 0, 1).uncounted();
+            let phase = root.child("save/upload");
+            {
+                let _detail = phase.child("save/upload-file").uncounted();
+            }
+        }
+        // Only the counted phase span contributes to the heat map / breakdown.
+        let by_rank = hub.total_by_rank("save/");
+        assert_eq!(by_rank.len(), 1);
+        let breakdown = hub.breakdown_for_rank(0);
+        assert_eq!(breakdown.len(), 1);
+        assert!(breakdown.contains_key("save/upload"));
+        // But all three spans are retained in full.
+        assert_eq!(hub.spans().len(), 3);
+    }
+
+    #[test]
+    fn uncounted_spans_still_trip_slow_io_alerts() {
+        let hub = MetricsHub::new();
+        let sink = hub.sink();
+        {
+            let mut s = sink.span("storage/disk/write", 0, 1).uncounted().path("slow.bin");
+            std::thread::sleep(Duration::from_millis(10));
+            s.add_bytes(10); // ~1 KB/s
+        }
+        let slow = hub.slow_ios(1024.0 * 1024.0);
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].path.as_deref(), Some("slow.bin"));
+    }
+
+    #[test]
+    fn bounded_hub_counts_dropped_events() {
+        let hub = MetricsHub::bounded(2);
+        let sink = hub.sink();
+        for i in 0..5u64 {
+            sink.record(MetricRecord {
+                name: "p".into(),
+                rank: 0,
+                step: i,
+                duration: Duration::from_millis(1),
+                io_bytes: 0,
+                path: None,
+            });
+        }
+        assert_eq!(hub.records().len(), 2);
+        assert_eq!(hub.dropped_records(), 3);
+        // Draining frees capacity for later events.
+        sink.record(MetricRecord {
+            name: "p".into(),
+            rank: 0,
+            step: 9,
+            duration: Duration::from_millis(1),
+            io_bytes: 0,
+            path: None,
+        });
+        assert_eq!(hub.records().len(), 3);
+        assert_eq!(hub.dropped_records(), 3);
+    }
+
+    #[test]
+    fn fanout_duplicates_into_all_hubs() {
+        let user = MetricsHub::new();
+        let private = MetricsHub::new();
+        let sink = MetricsSink::fanout(vec![user.sink(), private.sink()]);
+        {
+            let _t = sink.timer("save/plan", 0, 1);
+        }
+        {
+            let _s = sink.span("save", 0, 1);
+        }
+        assert_eq!(user.flat_records().len(), 1);
+        assert_eq!(user.spans().len(), 1);
+        assert_eq!(private.flat_records().len(), 1);
+        assert_eq!(private.spans().len(), 1);
     }
 }

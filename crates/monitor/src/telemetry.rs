@@ -1,0 +1,259 @@
+//! Persisted per-step telemetry artifacts.
+//!
+//! Every committed step writes a `_telemetry.jsonl` file next to the
+//! checkpoint (via the normal storage backend): one JSON line per rank,
+//! holding that rank's flat metric records, its span tree, failure-log
+//! excerpts, and the dropped-event counter. The artifact is what makes the
+//! paper's §5.3 diagnosis workflow *offline* — `bcpctl report` and the
+//! analysis/export modules consume it long after the training processes are
+//! gone.
+
+use crate::metrics::{
+    breakdown_from, slow_ios_from, total_by_rank_from, MetricRecord,
+};
+use crate::span::SpanRecord;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Telemetry artifact written next to each committed save.
+pub const TELEMETRY_SAVE_FILE: &str = "_telemetry.jsonl";
+/// Telemetry artifact written after each completed load of a step.
+pub const TELEMETRY_LOAD_FILE: &str = "_telemetry_load.jsonl";
+
+/// A failure-log excerpt carried in the artifact (mirrors the core crate's
+/// `FailureRecord` without depending on it).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureExcerpt {
+    /// Rank that observed the failure.
+    pub rank: usize,
+    /// Workflow stage, e.g. `"save/upload"`.
+    pub stage: String,
+    /// Object path involved, when applicable.
+    #[serde(default)]
+    pub path: Option<String>,
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// Stringified error.
+    pub error: String,
+    /// Whether another attempt followed.
+    pub retried: bool,
+}
+
+/// One rank's telemetry for one step — one JSON line of the artifact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RankTelemetry {
+    /// Producing rank.
+    pub rank: usize,
+    /// Step the telemetry describes.
+    pub step: u64,
+    /// `"save"` or `"load"`.
+    pub op: String,
+    /// Flat metric records (legacy timers, failover markers).
+    #[serde(default)]
+    pub records: Vec<MetricRecord>,
+    /// The rank's span tree for the step.
+    #[serde(default)]
+    pub spans: Vec<SpanRecord>,
+    /// Failure-log excerpts observed by this rank.
+    #[serde(default)]
+    pub failures: Vec<FailureExcerpt>,
+    /// Telemetry events dropped at this rank (bounded hub overflow); non-zero
+    /// means this line undercounts.
+    #[serde(default)]
+    pub dropped_records: u64,
+}
+
+/// A full step's telemetry: every rank's line, coordinator-gathered.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StepTelemetry {
+    /// Per-rank telemetry, in gather order (rank-ascending).
+    pub ranks: Vec<RankTelemetry>,
+}
+
+impl StepTelemetry {
+    /// Serialize as JSON-lines: one rank per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for rank in &self.ranks {
+            // RankTelemetry contains no unserializable types; failure here
+            // would be a bug, and a lost line is worse than a panic in the
+            // writer's error path — so fall back to an empty line never.
+            out.push_str(&serde_json::to_string(rank).expect("serialize RankTelemetry"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a JSON-lines artifact (blank lines ignored).
+    pub fn from_jsonl(text: &str) -> Result<StepTelemetry, String> {
+        let mut ranks = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rank: RankTelemetry = serde_json::from_str(line)
+                .map_err(|e| format!("telemetry line {}: {e}", i + 1))?;
+            ranks.push(rank);
+        }
+        Ok(StepTelemetry { ranks })
+    }
+
+    /// The step described, from the first line.
+    pub fn step(&self) -> Option<u64> {
+        self.ranks.first().map(|r| r.step)
+    }
+
+    /// The operation described (`"save"` / `"load"`), from the first line.
+    pub fn op(&self) -> Option<&str> {
+        self.ranks.first().map(|r| r.op.as_str())
+    }
+
+    /// All flat records plus counted spans flattened to record form — the
+    /// input the heat-map/breakdown/percentile queries expect.
+    pub fn all_records(&self) -> Vec<MetricRecord> {
+        let mut out = Vec::new();
+        for rank in &self.ranks {
+            out.extend(rank.records.iter().cloned());
+            out.extend(rank.spans.iter().filter(|s| s.counted).map(MetricRecord::from_span));
+        }
+        out
+    }
+
+    /// Every span from every rank.
+    pub fn all_spans(&self) -> Vec<SpanRecord> {
+        self.ranks.iter().flat_map(|r| r.spans.iter().cloned()).collect()
+    }
+
+    /// Every failure excerpt from every rank.
+    pub fn all_failures(&self) -> Vec<FailureExcerpt> {
+        self.ranks.iter().flat_map(|r| r.failures.iter().cloned()).collect()
+    }
+
+    /// Sum of dropped-event counters across ranks.
+    pub fn dropped_records(&self) -> u64 {
+        self.ranks.iter().map(|r| r.dropped_records).sum()
+    }
+
+    /// Per-rank total duration for phases whose name has `prefix` (Fig. 11).
+    pub fn total_by_rank(&self, prefix: &str) -> BTreeMap<usize, Duration> {
+        total_by_rank_from(&self.all_records(), prefix)
+    }
+
+    /// Per-phase totals for one rank (Fig. 12).
+    pub fn breakdown_for_rank(&self, rank: usize) -> BTreeMap<String, Duration> {
+        breakdown_from(&self.all_records(), rank)
+    }
+
+    /// I/Os (records, counted spans, and uncounted detail spans) below
+    /// `min_bps`.
+    pub fn slow_ios(&self, min_bps: f64) -> Vec<MetricRecord> {
+        let mut all = self.all_records();
+        for rank in &self.ranks {
+            all.extend(rank.spans.iter().filter(|s| !s.counted).map(MetricRecord::from_span));
+        }
+        slow_ios_from(all, min_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap as Map;
+
+    fn span(id: u64, parent: Option<u64>, name: &str, rank: usize, ms: u64, counted: bool) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: name.into(),
+            rank,
+            step: 7,
+            start_us: id * 10,
+            duration: Duration::from_millis(ms),
+            io_bytes: 0,
+            path: None,
+            attrs: Map::new(),
+            events: Vec::new(),
+            counted,
+        }
+    }
+
+    fn artifact() -> StepTelemetry {
+        StepTelemetry {
+            ranks: vec![
+                RankTelemetry {
+                    rank: 0,
+                    step: 7,
+                    op: "save".into(),
+                    records: vec![MetricRecord {
+                        name: "save/plan".into(),
+                        rank: 0,
+                        step: 7,
+                        duration: Duration::from_millis(2),
+                        io_bytes: 0,
+                        path: None,
+                    }],
+                    spans: vec![
+                        span(1, None, "save", 0, 50, false),
+                        span(2, Some(1), "save/upload", 0, 40, true),
+                    ],
+                    failures: vec![FailureExcerpt {
+                        rank: 0,
+                        stage: "save/upload".into(),
+                        path: Some("f.bin".into()),
+                        attempt: 1,
+                        error: "flaky".into(),
+                        retried: true,
+                    }],
+                    dropped_records: 3,
+                },
+                RankTelemetry {
+                    rank: 1,
+                    step: 7,
+                    op: "save".into(),
+                    records: vec![],
+                    spans: vec![
+                        span(10, None, "save", 1, 90, false),
+                        span(11, Some(10), "save/upload", 1, 80, true),
+                    ],
+                    failures: vec![],
+                    dropped_records: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let art = artifact();
+        let text = art.to_jsonl();
+        assert_eq!(text.lines().count(), 2);
+        let back = StepTelemetry::from_jsonl(&text).unwrap();
+        assert_eq!(back.ranks.len(), 2);
+        assert_eq!(back.step(), Some(7));
+        assert_eq!(back.op(), Some("save"));
+        assert_eq!(back.ranks[0].spans, art.ranks[0].spans);
+        assert_eq!(back.ranks[0].failures, art.ranks[0].failures);
+        assert_eq!(back.dropped_records(), 3);
+    }
+
+    #[test]
+    fn from_jsonl_rejects_garbage() {
+        assert!(StepTelemetry::from_jsonl("not json\n").is_err());
+        assert!(StepTelemetry::from_jsonl("\n\n").unwrap().ranks.is_empty());
+    }
+
+    #[test]
+    fn aggregations_skip_uncounted_roots() {
+        let art = artifact();
+        let by_rank = art.total_by_rank("save/");
+        // Root "save" spans (uncounted) are excluded; counted upload spans
+        // plus rank 0's flat plan record remain.
+        assert_eq!(by_rank[&0], Duration::from_millis(42));
+        assert_eq!(by_rank[&1], Duration::from_millis(80));
+        let breakdown = art.breakdown_for_rank(0);
+        assert_eq!(breakdown["save/upload"], Duration::from_millis(40));
+        assert_eq!(breakdown["save/plan"], Duration::from_millis(2));
+        assert!(!breakdown.contains_key("save"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Span-tree integrity under concurrency: 8 "ranks" running nested save
+//! phases in parallel (with inner I/O worker threads) must produce a forest
+//! where every span's parent exists, belongs to the same rank, and encloses
+//! the child — no orphans, no cross-rank adoption.
+
+use bcp_monitor::{enter_context, MetricsHub, SpanRecord};
+use std::collections::HashMap;
+
+#[test]
+fn concurrent_nested_save_phases_form_valid_trees() {
+    let hub = MetricsHub::new();
+    let mut handles = Vec::new();
+    for rank in 0..8usize {
+        let sink = hub.sink();
+        handles.push(std::thread::spawn(move || {
+            let root = sink.span("save", rank, 11).uncounted();
+            let _in_root = root.enter();
+            for phase in ["save/d2h", "save/serialize"] {
+                let _p = sink.span_in_context(phase, rank);
+            }
+            let upload = root.child("save/upload");
+            let ctx = upload.context();
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    let io_sink = sink.clone();
+                    scope.spawn(move || {
+                        let _e = enter_context(ctx);
+                        let _io = io_sink.span_in_context("storage/mem/write", rank).uncounted();
+                    });
+                }
+            });
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let spans = hub.spans();
+    // 8 ranks × (1 root + 2 phases + 1 upload + 2 I/O spans).
+    assert_eq!(spans.len(), 8 * 6);
+    assert_eq!(hub.dropped_records(), 0);
+
+    let by_id: HashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    assert_eq!(by_id.len(), spans.len(), "span ids must be unique");
+
+    let roots: Vec<&SpanRecord> = spans.iter().filter(|s| s.parent.is_none()).collect();
+    assert_eq!(roots.len(), 8, "exactly one root per rank");
+
+    for span in &spans {
+        assert_eq!(span.step, 11);
+        if let Some(parent_id) = span.parent {
+            // Every parent reference resolves (no orphans) ...
+            let parent = by_id
+                .get(&parent_id)
+                .unwrap_or_else(|| panic!("span {} ({}) has dangling parent", span.id, span.name));
+            // ... to a span of the same rank (no cross-rank adoption) ...
+            assert_eq!(parent.rank, span.rank, "span {} adopted across ranks", span.name);
+            // ... that started no later than the child.
+            assert!(parent.start_us <= span.start_us);
+        } else {
+            assert_eq!(span.name, "save", "only the per-rank roots may be parentless");
+        }
+    }
+
+    // Every non-root span chains up to its own rank's root.
+    for span in spans.iter().filter(|s| s.parent.is_some()) {
+        let mut cur = *span;
+        let mut hops = 0;
+        while let Some(pid) = cur.parent {
+            cur = by_id[&pid];
+            hops += 1;
+            assert!(hops <= spans.len(), "parent cycle detected");
+        }
+        assert_eq!(cur.name, "save");
+        assert_eq!(cur.rank, span.rank);
+    }
+
+    // Phase spans are direct children of the root; I/O spans are children of
+    // the upload phase (parent context crossed the scoped-thread boundary).
+    for span in &spans {
+        match span.name.as_str() {
+            "save/d2h" | "save/serialize" | "save/upload" => {
+                assert_eq!(by_id[&span.parent.unwrap()].name, "save");
+            }
+            "storage/mem/write" => {
+                assert_eq!(by_id[&span.parent.unwrap()].name, "save/upload");
+            }
+            _ => {}
+        }
+    }
+}

@@ -52,6 +52,10 @@ impl StorageBackend for DiskBackend {
         "disk"
     }
 
+    fn op_attrs(&self) -> Vec<(&'static str, String)> {
+        vec![("root", self.root.display().to_string())]
+    }
+
     fn write(&self, path: &str, data: Bytes) -> Result<()> {
         let p = self.resolve(path)?;
         self.ensure_parent(&p)?;

@@ -141,6 +141,13 @@ impl StorageBackend for FallbackBackend {
         }
     }
 
+    fn op_attrs(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("degraded", self.is_degraded().to_string()),
+            ("primary_failures", self.failures().to_string()),
+        ]
+    }
+
     fn write(&self, path: &str, data: Bytes) -> Result<()> {
         self.write_op(path, |b| b.write(path, data.clone()))
     }

@@ -252,6 +252,17 @@ impl StorageBackend for HdfsBackend {
         "hdfs"
     }
 
+    fn op_attrs(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("parallel_concat", self.cfg.parallel_concat.to_string()),
+            ("nnproxy_cache", self.cfg.nnproxy_cache.to_string()),
+            (
+                "meta_ops",
+                self.namenode.stats.meta_ops.load(Ordering::Relaxed).to_string(),
+            ),
+        ]
+    }
+
     fn write(&self, path: &str, data: Bytes) -> Result<()> {
         // Create = one metadata op (the paper's §6.4 lesson: avoid the SDK's
         // redundant parent-dir checks; we charge exactly one op).

@@ -1,0 +1,180 @@
+//! Span instrumentation for storage backends.
+//!
+//! [`InstrumentedBackend`] wraps any [`StorageBackend`] and emits one
+//! uncounted span per data-plane operation (`storage/<backend>/<op>`),
+//! carrying the object path, bytes moved, the backend's [`op_attrs`]
+//! (tier state, throttle profile, ...), and the error text on failure.
+//! Spans parent themselves under whatever workflow/engine span the calling
+//! thread has entered (see `bcp_monitor::span`), so a trace shows exactly
+//! which upload issued which write — the paper's §5.3 storage-side view.
+//!
+//! Metadata-only operations (`exists`, `size`, `list`) are deliberately
+//! not traced: the engine issues them in tight loops and the spans would be
+//! noise; backends that care (HDFS) meter them in their own stats.
+//!
+//! [`op_attrs`]: StorageBackend::op_attrs
+
+use crate::{DynBackend, Result, StorageBackend};
+use bcp_monitor::{MetricsSink, SpanGuard};
+use bytes::Bytes;
+
+/// A [`StorageBackend`] decorator that traces every data-plane operation.
+pub struct InstrumentedBackend {
+    inner: DynBackend,
+    sink: MetricsSink,
+    rank: usize,
+}
+
+impl InstrumentedBackend {
+    /// Wrap `inner`, emitting spans into `sink`. `rank` is used when an
+    /// operation happens outside any entered workflow span.
+    pub fn new(inner: DynBackend, sink: MetricsSink, rank: usize) -> InstrumentedBackend {
+        InstrumentedBackend { inner, sink, rank }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &DynBackend {
+        &self.inner
+    }
+
+    fn start_span(&self, op: &str, path: &str) -> SpanGuard {
+        let mut span = self
+            .sink
+            .span_in_context(format!("storage/{}/{op}", self.inner.name()), self.rank)
+            .uncounted()
+            .path(path);
+        for (key, value) in self.inner.op_attrs() {
+            span.set_attr(key, value);
+        }
+        span
+    }
+}
+
+/// Stamp the error text onto the span when the operation failed.
+fn finish<T>(span: &mut SpanGuard, result: &Result<T>) {
+    if let Err(e) = result {
+        span.set_attr("error", e.to_string());
+    }
+}
+
+impl StorageBackend for InstrumentedBackend {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn op_attrs(&self) -> Vec<(&'static str, String)> {
+        self.inner.op_attrs()
+    }
+
+    fn write(&self, path: &str, data: Bytes) -> Result<()> {
+        let mut span = self.start_span("write", path);
+        span.add_bytes(data.len() as u64);
+        let result = self.inner.write(path, data);
+        finish(&mut span, &result);
+        result
+    }
+
+    fn append(&self, path: &str, data: &[u8]) -> Result<()> {
+        let mut span = self.start_span("append", path);
+        span.add_bytes(data.len() as u64);
+        let result = self.inner.append(path, data);
+        finish(&mut span, &result);
+        result
+    }
+
+    fn read(&self, path: &str) -> Result<Bytes> {
+        let mut span = self.start_span("read", path);
+        let result = self.inner.read(path);
+        if let Ok(data) = &result {
+            span.add_bytes(data.len() as u64);
+        }
+        finish(&mut span, &result);
+        result
+    }
+
+    fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+        let mut span = self.start_span("read_range", path);
+        span.set_attr("offset", offset.to_string());
+        let result = self.inner.read_range(path, offset, len);
+        if let Ok(data) = &result {
+            span.add_bytes(data.len() as u64);
+        }
+        finish(&mut span, &result);
+        result
+    }
+
+    fn size(&self, path: &str) -> Result<u64> {
+        self.inner.size(path)
+    }
+
+    fn exists(&self, path: &str) -> Result<bool> {
+        self.inner.exists(path)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.inner.list(prefix)
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        let mut span = self.start_span("delete", path);
+        let result = self.inner.delete(path);
+        finish(&mut span, &result);
+        result
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let mut span = self.start_span("rename", from);
+        span.set_attr("to", to);
+        let result = self.inner.rename(from, to);
+        finish(&mut span, &result);
+        result
+    }
+
+    fn concat(&self, target: &str, parts: &[String]) -> Result<()> {
+        let mut span = self.start_span("concat", target);
+        span.set_attr("parts", parts.len().to_string());
+        let result = self.inner.concat(target, parts);
+        finish(&mut span, &result);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryBackend;
+    use bcp_monitor::MetricsHub;
+    use std::sync::Arc;
+
+    #[test]
+    fn conformance_still_holds_when_instrumented() {
+        let hub = MetricsHub::new();
+        let b = InstrumentedBackend::new(Arc::new(MemoryBackend::new()), hub.sink(), 0);
+        crate::conformance::run_all(&b);
+        assert!(!hub.spans().is_empty());
+    }
+
+    #[test]
+    fn ops_emit_uncounted_spans_with_bytes_path_and_parent() {
+        let hub = MetricsHub::new();
+        let sink = hub.sink();
+        let b = InstrumentedBackend::new(Arc::new(MemoryBackend::new()), sink.clone(), 4);
+        {
+            let phase = sink.span("save/upload", 4, 9);
+            let _e = phase.enter();
+            b.write("ckpt/f.bin", Bytes::from_static(b"abcdef")).unwrap();
+        }
+        let err = b.read("ckpt/missing").unwrap_err();
+        let spans = hub.spans();
+        let write = spans.iter().find(|s| s.name == "storage/memory/write").unwrap();
+        assert!(!write.counted);
+        assert_eq!(write.io_bytes, 6);
+        assert_eq!(write.path.as_deref(), Some("ckpt/f.bin"));
+        assert_eq!((write.rank, write.step), (4, 9));
+        assert!(write.parent.is_some(), "parented under the entered phase span");
+        let read = spans.iter().find(|s| s.name == "storage/memory/read").unwrap();
+        assert_eq!(read.parent, None, "no entered context: falls back to a root");
+        assert_eq!(read.rank, 4);
+        assert_eq!(read.attrs["error"], err.to_string());
+    }
+}

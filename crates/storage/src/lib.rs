@@ -31,6 +31,7 @@ pub mod disk;
 pub mod fallback;
 pub mod flaky;
 pub mod hdfs;
+pub mod instrument;
 pub mod memory;
 pub mod throttle;
 pub mod uri;
@@ -39,6 +40,7 @@ pub use disk::DiskBackend;
 pub use fallback::{FailoverEvent, FallbackBackend};
 pub use flaky::FlakyBackend;
 pub use hdfs::{HdfsBackend, HdfsConfig, NameNodeStats};
+pub use instrument::InstrumentedBackend;
 pub use memory::MemoryBackend;
 pub use throttle::{Throttled, ThrottleProfile};
 pub use uri::{CheckpointLocation, StorageUri};
@@ -102,6 +104,13 @@ pub type Result<T> = std::result::Result<T, StorageError>;
 pub trait StorageBackend: Send + Sync {
     /// Backend name for monitoring output ("memory", "disk", "hdfs", "nas").
     fn name(&self) -> &str;
+
+    /// Backend-specific attributes attached to every traced operation span
+    /// by [`InstrumentedBackend`] (configuration and health a trace reader
+    /// needs to interpret timings — tier state, throttle profile, ...).
+    fn op_attrs(&self) -> Vec<(&'static str, String)> {
+        Vec::new()
+    }
 
     /// Create or replace the whole object at `path`.
     fn write(&self, path: &str, data: Bytes) -> Result<()>;

@@ -65,6 +65,16 @@ impl StorageBackend for Throttled {
         &self.name
     }
 
+    fn op_attrs(&self) -> Vec<(&'static str, String)> {
+        let mut attrs = vec![
+            ("read_bps", format!("{:.0}", self.profile.read_bps)),
+            ("write_bps", format!("{:.0}", self.profile.write_bps)),
+            ("op_latency_us", self.profile.op_latency.as_micros().to_string()),
+        ];
+        attrs.extend(self.inner.op_attrs());
+        attrs
+    }
+
     fn write(&self, path: &str, data: Bytes) -> Result<()> {
         std::thread::sleep(self.profile.delay_for(data.len(), self.profile.write_bps));
         self.inner.write(path, data)

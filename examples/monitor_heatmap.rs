@@ -1,13 +1,17 @@
 //! Monitoring and visualization (paper §5.3, Figs. 11–12): run a real
 //! 32-rank 3D-parallel checkpoint save with the metrics system attached,
-//! then render the per-rank saving-time heat map and the rank-0 phase
-//! breakdown.
+//! then render the per-rank saving-time heat map and the critical-path
+//! rank's phase breakdown — **from the persisted `_telemetry.jsonl`
+//! artifact the save left next to the checkpoint**, the same way `bcpctl
+//! report` works on a dead job's directory.
 //!
 //! ```text
 //! cargo run --release --example monitor_heatmap
 //! ```
 
-use bytecheckpoint::monitor::{heatmap, render_breakdown, MetricsHub};
+use bytecheckpoint::core::telemetry::read_step_telemetry;
+use bytecheckpoint::monitor::analysis::{critical_path, phase_percentiles};
+use bytecheckpoint::monitor::{heatmap, render_breakdown};
 use bytecheckpoint::prelude::*;
 use bytecheckpoint::storage::{Throttled, ThrottleProfile};
 use std::sync::Arc;
@@ -16,7 +20,6 @@ use std::time::Duration;
 fn main() {
     let par = Parallelism::new(2, 4, 4).unwrap(); // TP=2, DP=4, PP=4: 32 ranks
     let fw = Framework::Megatron { distributed_optimizer: true };
-    let hub = Arc::new(MetricsHub::new());
 
     // A scaled-down "HDFS": throttled so phase durations are visible and
     // proportional to bytes.
@@ -31,7 +34,7 @@ fn main() {
     ));
     let registry = {
         let mut reg = BackendRegistry::new();
-        reg.register(Scheme::Hdfs, backend);
+        reg.register(Scheme::Hdfs, backend.clone());
         Arc::new(reg)
     };
 
@@ -41,13 +44,13 @@ fn main() {
         .map(|rank| {
             let world = world.clone();
             let registry = registry.clone();
-            let sink = hub.sink();
             std::thread::spawn(move || {
+                // Telemetry is on by default: the save persists a
+                // `_telemetry.jsonl` artifact next to the checkpoint.
                 let ckpt = Checkpointer::builder(world.communicator(rank).unwrap())
                     .framework(fw)
                     .parallelism(par)
                     .registry(registry)
-                    .sink(sink)
                     .build()
                     .unwrap();
                 let mut state = build_train_state(&zoo::tiny_gpt_8l(), fw, par, rank, true);
@@ -91,8 +94,15 @@ fn main() {
         h.join().unwrap();
     }
 
+    // Everything below reads the *persisted* artifact back off storage —
+    // no live hub required; `bcpctl report` runs the same queries.
+    let doc = read_step_telemetry(&backend, "monitored/step_100", TELEMETRY_SAVE_FILE)
+        .expect("artifact readable")
+        .expect("save persisted telemetry");
+    println!("artifact: {} rank lines, step {:?}", doc.ranks.len(), doc.step());
+
     // ---- Fig. 11: topology heat map of end-to-end save time. ----
-    let by_rank = hub.total_by_rank("save/");
+    let by_rank = doc.total_by_rank("save/");
     let spec = heatmap::HeatmapSpec {
         rows: par.pp,
         cols: par.dp * par.tp,
@@ -103,10 +113,32 @@ fn main() {
     let stragglers = heatmap::stragglers(&by_rank, 1.3);
     println!("stragglers (>1.3x mean): {stragglers:?} — the dataloader holders (tp=0, pp=0)\n");
 
-    // ---- Fig. 12: rank-0 phase breakdown. ----
-    println!("{}", render_breakdown(0, &hub.breakdown_for_rank(0)));
+    // ---- Fig. 12: phase breakdown of the critical-path rank. ----
+    let records = doc.all_records();
+    if let Some(cp) = critical_path(&records, "save/") {
+        println!(
+            "critical path: rank {} at {:.3}s (median {:.3}s), dominated by {}",
+            cp.rank,
+            cp.total.as_secs_f64(),
+            cp.median_total.as_secs_f64(),
+            cp.dominant_phase
+        );
+        println!("{}", render_breakdown(cp.rank, &doc.breakdown_for_rank(cp.rank)));
+    }
+
+    // ---- Per-phase percentiles across all 32 ranks. ----
+    for (phase, st) in phase_percentiles(&records) {
+        println!(
+            "{:<18} n={:<3} p50={:.3}s p95={:.3}s p99={:.3}s",
+            phase,
+            st.count,
+            st.p50.as_secs_f64(),
+            st.p95.as_secs_f64(),
+            st.p99.as_secs_f64()
+        );
+    }
 
     // ---- Storage-side alerting (§5.3): flag pathologically slow I/Os. ----
-    let slow = hub.slow_ios(50e6);
+    let slow = doc.slow_ios(50e6);
     println!("I/O records below 50 MB/s: {}", slow.len());
 }

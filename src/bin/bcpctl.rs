@@ -8,15 +8,31 @@
 //! bcpctl export  <checkpoint-dir> <out>  # consolidate into a .safetensors
 //! bcpctl retain  <job-root-dir> <k>      # keep newest k, delete the rest
 //! bcpctl gc      <job-root-dir>          # delete every torn (uncommitted) step
+//! bcpctl report  <job-root-dir> [flags]  # offline telemetry report (§5.3)
 //! ```
 //!
 //! All commands run against the real on-disk checkpoint layout produced by
 //! `bytecheckpoint::save` (per-rank frame files + global metadata + the
-//! `COMPLETE` marker).
+//! `COMPLETE` marker). `report` additionally reads the `_telemetry.jsonl`
+//! artifacts each committed save persists next to the checkpoint, and needs
+//! no live process: heat map, per-rank breakdown, critical path, percentile
+//! histograms, slow-I/O alerts, and regressions against the prior steps are
+//! all reconstructed from the persisted spans and records. Flags:
+//! `--step <N>` (default: latest committed), `--load` (analyze the load
+//! artifact instead of the save one), `--min-mbps <X>` (slow-I/O threshold,
+//! default 10), `--trace <out.json>` (dump a Chrome/Perfetto trace),
+//! `--csv <out.csv>` (dump the flat records).
 
 use bytecheckpoint::core::export::export_safetensors;
 use bytecheckpoint::core::format::decode_frames;
 use bytecheckpoint::core::metadata::{GlobalMetadata, METADATA_FILE};
+use bytecheckpoint::core::telemetry::read_step_telemetry;
+use bytecheckpoint::monitor::analysis::{critical_path, phase_percentiles, regressions};
+use bytecheckpoint::monitor::export::{chrome_trace, records_csv};
+use bytecheckpoint::monitor::{
+    render_breakdown, render_heatmap, HeatmapSpec, StepTelemetry, TELEMETRY_LOAD_FILE,
+    TELEMETRY_SAVE_FILE,
+};
 use bytecheckpoint::prelude::{CheckpointManager, DiskBackend, DynBackend};
 use std::path::Path;
 use std::process::ExitCode;
@@ -31,9 +47,10 @@ fn main() -> ExitCode {
         [cmd, dir, out] if cmd == "export" => cmd_export(dir, out),
         [cmd, dir, k] if cmd == "retain" => cmd_retain(dir, k),
         [cmd, dir] if cmd == "gc" => cmd_gc(dir),
+        [cmd, dir, flags @ ..] if cmd == "report" => cmd_report(dir, flags),
         _ => {
             eprintln!(
-                "usage: bcpctl <list|inspect|verify|gc> <dir> | export <dir> <out> | retain <dir> <k>"
+                "usage: bcpctl <list|inspect|verify|gc> <dir> | export <dir> <out> | retain <dir> <k> | report <dir> [--step N] [--load] [--min-mbps X] [--trace out.json] [--csv out.csv]"
             );
             return ExitCode::from(2);
         }
@@ -202,6 +219,218 @@ fn cmd_gc(dir: &str) -> Result<(), AnyError> {
         println!("no torn checkpoints under {dir}");
     } else {
         println!("garbage-collected torn steps: {deleted:?}");
+    }
+    Ok(())
+}
+
+/// Parsed `report` flags.
+struct ReportFlags {
+    step: Option<u64>,
+    load: bool,
+    min_mbps: f64,
+    trace: Option<String>,
+    csv: Option<String>,
+}
+
+fn parse_report_flags(flags: &[String]) -> Result<ReportFlags, AnyError> {
+    let mut out =
+        ReportFlags { step: None, load: false, min_mbps: 10.0, trace: None, csv: None };
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().map(|s| s.to_string()).ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--step" => out.step = Some(value("--step")?.parse::<u64>()?),
+            "--load" => out.load = true,
+            "--min-mbps" => out.min_mbps = value("--min-mbps")?.parse::<f64>()?,
+            "--trace" => out.trace = Some(value("--trace")?),
+            "--csv" => out.csv = Some(value("--csv")?),
+            other => return Err(format!("unknown report flag {other:?}").into()),
+        }
+    }
+    Ok(out)
+}
+
+/// Heat-map geometry from the checkpoint's parallelism string
+/// (`"TP=a,DP=b,PP=c"`): PP rows, DP·TP columns, matching the paper's
+/// Fig. 11 layout. Falls back to one row over the whole world.
+fn heatmap_spec(meta: &GlobalMetadata) -> HeatmapSpec {
+    let mut tp = 1usize;
+    let mut dp = 1usize;
+    let mut pp = 1usize;
+    for part in meta.source_parallelism.split(',') {
+        if let Some((key, v)) = part.split_once('=') {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                match key.trim() {
+                    "TP" => tp = n.max(1),
+                    "DP" => dp = n.max(1),
+                    "PP" => pp = n.max(1),
+                    _ => {}
+                }
+            }
+        }
+    }
+    if tp * dp * pp == meta.source_world_size && meta.source_world_size > 0 {
+        HeatmapSpec { rows: pp, cols: dp * tp, row_label: "PP", col_label: "DP*TP" }
+    } else {
+        HeatmapSpec {
+            rows: 1,
+            cols: meta.source_world_size.max(1),
+            row_label: "job",
+            col_label: "rank",
+        }
+    }
+}
+
+/// Sum each phase's duration across all ranks — the regression unit.
+fn phase_totals(doc: &StepTelemetry) -> std::collections::BTreeMap<String, std::time::Duration> {
+    let mut out = std::collections::BTreeMap::new();
+    for rec in doc.all_records() {
+        *out.entry(rec.name).or_insert(std::time::Duration::ZERO) += rec.duration;
+    }
+    out
+}
+
+fn cmd_report(dir: &str, raw_flags: &[String]) -> Result<(), AnyError> {
+    let flags = parse_report_flags(raw_flags)?;
+    let (backend, root) = open(dir)?;
+    let mgr = CheckpointManager::new(backend.clone(), root);
+    let committed: Vec<u64> =
+        mgr.list()?.iter().filter(|c| c.committed).map(|c| c.step).collect();
+    if committed.is_empty() {
+        return Err(format!("no committed step_<N> checkpoints under {dir}").into());
+    }
+    let step = match flags.step {
+        Some(s) if committed.contains(&s) => s,
+        Some(s) => return Err(format!("step {s} is not a committed checkpoint").into()),
+        None => *committed.last().expect("non-empty"),
+    };
+    let file = if flags.load { TELEMETRY_LOAD_FILE } else { TELEMETRY_SAVE_FILE };
+    let op = if flags.load { "load" } else { "save" };
+    let prefix = mgr.prefix_for(step);
+    let doc = read_step_telemetry(&backend, &prefix, file)?.ok_or_else(|| {
+        format!(
+            "step {step} has no {file} artifact (telemetry disabled when it was written?)"
+        )
+    })?;
+    let meta = mgr.metadata(step)?;
+    let records = doc.all_records();
+
+    println!("telemetry report: {dir} step {step} ({op})");
+    println!(
+        "parallelism {} ({} ranks), artifact lines: {}",
+        meta.source_parallelism,
+        meta.source_world_size,
+        doc.ranks.len()
+    );
+
+    // Fig. 11-style heat map of per-rank totals under the op's phases.
+    let by_rank = doc.total_by_rank(&format!("{op}/"));
+    println!();
+    print!("{}", render_heatmap(&heatmap_spec(&meta), &by_rank));
+
+    // Critical path: the rank every other rank waited for at the barrier.
+    println!();
+    match critical_path(&records, &format!("{op}/")) {
+        Some(cp) => {
+            println!(
+                "critical path: rank {} at {:.3}s (median rank {:.3}s), dominated by {} ({:.3}s)",
+                cp.rank,
+                cp.total.as_secs_f64(),
+                cp.median_total.as_secs_f64(),
+                cp.dominant_phase,
+                cp.dominant.as_secs_f64()
+            );
+            print!("{}", render_breakdown(cp.rank, &doc.breakdown_for_rank(cp.rank)));
+        }
+        None => println!("critical path: no {op}/* records in the artifact"),
+    }
+
+    // Per-phase percentile histogram across ranks.
+    println!();
+    println!(
+        "{:<24} {:>5} {:>9} {:>9} {:>9} {:>9}",
+        "phase", "n", "p50", "p95", "p99", "max"
+    );
+    for (phase, st) in phase_percentiles(&records) {
+        println!(
+            "{:<24} {:>5} {:>8.3}s {:>8.3}s {:>8.3}s {:>8.3}s",
+            phase,
+            st.count,
+            st.p50.as_secs_f64(),
+            st.p95.as_secs_f64(),
+            st.p99.as_secs_f64(),
+            st.max.as_secs_f64()
+        );
+    }
+
+    // Alerts: slow I/O, failures, dropped events, regressions vs the
+    // rolling baseline of every other committed step with an artifact.
+    println!();
+    let slow = doc.slow_ios(flags.min_mbps * 1e6);
+    for rec in &slow {
+        println!(
+            "ALERT slow I/O: rank {} {} {} at {:.1} MB/s (path {})",
+            rec.rank,
+            rec.name,
+            human_bytes(rec.io_bytes),
+            rec.io_bytes as f64 / rec.duration.as_secs_f64().max(1e-9) / 1e6,
+            rec.path.as_deref().unwrap_or("-")
+        );
+    }
+    for f in doc.all_failures() {
+        println!(
+            "ALERT failure: rank {} at {} attempt {}{} — {}",
+            f.rank,
+            f.stage,
+            f.attempt,
+            if f.retried { " (retried)" } else { "" },
+            f.error
+        );
+    }
+    if doc.dropped_records() > 0 {
+        println!(
+            "ALERT {} telemetry events dropped at the bounded hub; totals undercount",
+            doc.dropped_records()
+        );
+    }
+    let baseline: Vec<_> = committed
+        .iter()
+        .filter(|&&s| s != step)
+        .filter_map(|&s| read_step_telemetry(&backend, &mgr.prefix_for(s), file).ok().flatten())
+        .map(|d| phase_totals(&d))
+        .collect();
+    if baseline.is_empty() {
+        println!("no other committed steps with a {file} artifact: skipping regression check");
+    } else {
+        let regs = regressions(&phase_totals(&doc), &baseline, 1.5);
+        if regs.is_empty() {
+            println!(
+                "no regressions vs the {}-step rolling baseline (threshold 1.5x)",
+                baseline.len()
+            );
+        } else {
+            for r in regs {
+                println!(
+                    "ALERT regression: {} at {:.3}s is {:.1}x the baseline mean {:.3}s",
+                    r.phase,
+                    r.current.as_secs_f64(),
+                    r.factor,
+                    r.baseline.as_secs_f64()
+                );
+            }
+        }
+    }
+
+    // Optional exports for external tooling.
+    if let Some(out) = &flags.trace {
+        std::fs::write(out, chrome_trace(&doc.all_spans()))?;
+        println!("wrote Chrome trace (load in Perfetto / chrome://tracing): {out}");
+    }
+    if let Some(out) = &flags.csv {
+        std::fs::write(out, records_csv(&records))?;
+        println!("wrote records CSV: {out}");
     }
     Ok(())
 }

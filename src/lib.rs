@@ -56,7 +56,7 @@
 //! | [`model`] | transformer state generators, deterministic trainer |
 //! | [`dataloader`] | token-buffer dataloader with exact resume |
 //! | [`baselines`] | DCP-like, MCP-like, offline reshard jobs |
-//! | [`monitor`] | metrics, heat maps, breakdowns |
+//! | [`monitor`] | spans, metrics, telemetry artifacts, heat maps, analysis |
 //! | [`sim`] | paper-scale virtual-time experiments |
 
 pub use bcp_baselines as baselines;
@@ -81,14 +81,18 @@ pub mod prelude {
     pub use bcp_core::integrity::RetryPolicy;
     pub use bcp_core::manager::CheckpointManager;
     pub use bcp_core::registry::BackendRegistry;
+    pub use bcp_core::telemetry::read_step_telemetry;
     pub use bcp_core::workflow::WorkflowOptions;
+    pub use bcp_monitor::{
+        MetricsHub, MetricsSink, StepTelemetry, TELEMETRY_LOAD_FILE, TELEMETRY_SAVE_FILE,
+    };
     pub use bcp_dataloader::{DataSource, Dataloader, LoaderReplicatedState, LoaderShardState};
     pub use bcp_model::states::build_train_state;
     pub use bcp_model::{zoo, ExtraState, Framework, TrainState, TrainerConfig};
     pub use bcp_storage::uri::Scheme;
     pub use bcp_storage::{
         CheckpointLocation, DiskBackend, DynBackend, FallbackBackend, FlakyBackend, HdfsBackend,
-        MemoryBackend, StorageUri,
+        InstrumentedBackend, MemoryBackend, StorageUri,
     };
     pub use bcp_tensor::{DType, Tensor};
     pub use bcp_topology::{Parallelism, ShardSpec};

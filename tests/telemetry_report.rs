@@ -1,0 +1,186 @@
+//! End-to-end observability test (§5.3): a multi-rank save/load with one
+//! storage-throttled straggler rank persists `_telemetry.jsonl` artifacts
+//! next to the checkpoint, the span trees in the artifact are well-formed,
+//! and the offline `bcpctl report` — fed nothing but the job directory —
+//! renders the heat map, per-rank breakdown, and critical path, naming the
+//! straggler.
+
+use bytecheckpoint::prelude::*;
+use bytecheckpoint::storage::{ThrottleProfile, Throttled};
+use std::process::Command;
+use std::sync::Arc;
+use std::time::Duration;
+
+const WORLD: usize = 4;
+const STRAGGLER: usize = 2;
+
+/// Save steps 10 and 20 (then load 20 back) with per-rank registries:
+/// every rank writes to the same on-disk job dir, but the straggler's
+/// backend is wrapped in a hard write/read throttle.
+fn run_job(dir: &std::path::Path) {
+    let fw = Framework::Ddp;
+    let par = Parallelism::data_parallel(WORLD).unwrap();
+    let world = CommWorld::new(WORLD, Backend::Tree { gpus_per_host: 4, branching: 2 });
+    let handles: Vec<_> = (0..WORLD)
+        .map(|rank| {
+            let world = world.clone();
+            let dir = dir.to_path_buf();
+            std::thread::spawn(move || {
+                let disk: DynBackend = Arc::new(DiskBackend::new(&dir).unwrap());
+                let backend: DynBackend = if rank == STRAGGLER {
+                    Arc::new(Throttled::new(
+                        disk,
+                        ThrottleProfile {
+                            read_bps: 20e6,
+                            write_bps: 4e6,
+                            op_latency: Duration::from_micros(500),
+                        },
+                        "slow-disk",
+                    ))
+                } else {
+                    disk
+                };
+                let registry = {
+                    let mut reg = BackendRegistry::new();
+                    reg.register(Scheme::File, backend);
+                    Arc::new(reg)
+                };
+                let ckpt = Checkpointer::builder(world.communicator(rank).unwrap())
+                    .framework(fw)
+                    .parallelism(par)
+                    .registry(registry)
+                    .build()
+                    .unwrap();
+                for step in [10u64, 20] {
+                    let mut state = build_train_state(&zoo::tiny_gpt(), fw, par, rank, true);
+                    TrainerConfig::default().run(&mut state, 0, step);
+                    ckpt.save(&SaveRequest::new(
+                        format!("file:///job/step_{step}"),
+                        &state,
+                        step,
+                    ))
+                    .unwrap()
+                    .wait()
+                    .unwrap();
+                }
+                let mut target = build_train_state(&zoo::tiny_gpt(), fw, par, rank, true);
+                ckpt.load(&mut LoadRequest::new("file:///job/step_20", &mut target)).unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn bcpctl(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bcpctl")).args(args).output().expect("bcpctl runs");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn persisted_telemetry_drives_offline_report() {
+    let dir = std::env::temp_dir().join(format!("bcp-telemetry-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    run_job(&dir);
+    let job = dir.join("job");
+
+    // ---- The artifacts sit next to the checkpoints, one line per rank. ----
+    for step in [10u64, 20] {
+        let artifact = job.join(format!("step_{step}")).join(TELEMETRY_SAVE_FILE);
+        let text = std::fs::read_to_string(&artifact)
+            .unwrap_or_else(|e| panic!("{artifact:?} missing: {e}"));
+        let doc = StepTelemetry::from_jsonl(&text).unwrap();
+        assert_eq!(doc.ranks.len(), WORLD);
+        assert_eq!(doc.step(), Some(step));
+        assert_eq!(doc.op(), Some("save"));
+
+        // Span validity per rank line: exactly one root (named "save"),
+        // every parent id resolves within the line, phases sit under the
+        // root, and storage ops are uncounted details.
+        for line in &doc.ranks {
+            assert!(!line.spans.is_empty(), "rank {} has no spans", line.rank);
+            let ids: std::collections::HashSet<u64> = line.spans.iter().map(|s| s.id).collect();
+            assert_eq!(ids.len(), line.spans.len(), "duplicate span ids");
+            let roots: Vec<_> = line.spans.iter().filter(|s| s.parent.is_none()).collect();
+            assert_eq!(roots.len(), 1, "rank {}: {roots:?}", line.rank);
+            assert_eq!(roots[0].name, "save");
+            assert!(!roots[0].counted, "root must not double-count phase time");
+            for s in &line.spans {
+                assert_eq!(s.rank, line.rank);
+                assert_eq!(s.step, step);
+                if let Some(p) = s.parent {
+                    assert!(ids.contains(&p), "orphan span {} (parent {p})", s.name);
+                }
+                if s.name.starts_with("storage/") {
+                    assert!(!s.counted, "storage detail span counted: {}", s.name);
+                }
+            }
+            let root_id = roots[0].id;
+            for phase in ["save/dump", "save/upload", "sync/save_barrier"] {
+                let span = line
+                    .spans
+                    .iter()
+                    .find(|s| s.name == phase)
+                    .unwrap_or_else(|| panic!("rank {} lacks {phase}", line.rank));
+                assert_eq!(span.parent, Some(root_id), "{phase} not under the root");
+            }
+        }
+
+        // The straggler dominates the per-rank totals.
+        let by_rank = doc.total_by_rank("save/");
+        let slowest = by_rank.iter().max_by_key(|(_, d)| **d).map(|(r, _)| *r);
+        assert_eq!(slowest, Some(STRAGGLER), "totals: {by_rank:?}");
+    }
+
+    // The load pass left its own artifact.
+    let load_artifact = job.join("step_20").join(TELEMETRY_LOAD_FILE);
+    let doc = StepTelemetry::from_jsonl(&std::fs::read_to_string(&load_artifact).unwrap()).unwrap();
+    assert_eq!(doc.op(), Some("load"));
+    assert_eq!(doc.ranks.len(), WORLD);
+    assert!(doc.all_spans().iter().any(|s| s.name == "load/read"));
+
+    // ---- The offline report: heat map + breakdown + critical path. ----
+    let job_s = job.to_string_lossy().to_string();
+    let trace_out = dir.join("trace.json").to_string_lossy().to_string();
+    let csv_out = dir.join("records.csv").to_string_lossy().to_string();
+    let (ok, text) =
+        bcpctl(&["report", &job_s, "--trace", &trace_out, "--csv", &csv_out]);
+    assert!(ok, "{text}");
+    assert!(text.contains("step 20 (save)"), "{text}");
+    assert!(text.contains("heatmap rows="), "{text}");
+    assert!(
+        text.contains(&format!("critical path: rank {STRAGGLER} ")),
+        "straggler not identified: {text}"
+    );
+    assert!(text.contains("save/upload"), "{text}");
+    assert!(text.contains("p50"), "no percentile table: {text}");
+    // Two artifacts → the regression check has a baseline to compare against.
+    assert!(
+        text.contains("regression") || text.contains("ALERT regression"),
+        "no regression section: {text}"
+    );
+
+    // Exports parse / have the expected shape.
+    let trace: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace_out).unwrap()).unwrap();
+    assert!(!trace["traceEvents"].as_array().unwrap().is_empty());
+    let csv = std::fs::read_to_string(&csv_out).unwrap();
+    assert!(csv.starts_with("name,rank,step,duration_s,io_bytes,path"), "{csv}");
+
+    // Report a specific earlier step, and the load-side artifact.
+    let (ok, text) = bcpctl(&["report", &job_s, "--step", "10"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("step 10 (save)"), "{text}");
+    let (ok, text) = bcpctl(&["report", &job_s, "--load"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("step 20 (load)"), "{text}");
+    assert!(text.contains("heatmap rows="), "{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
