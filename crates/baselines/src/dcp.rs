@@ -14,6 +14,7 @@
 use crate::baseline_workflow_options;
 use bcp_collectives::Communicator;
 use bcp_core::api::{LoadOutcome, LoadRequest, SaveRequest};
+use bcp_core::engine::iopool::IoPool;
 use bcp_core::engine::pool::PinnedPool;
 use bcp_core::integrity::FailureLog;
 use bcp_core::planner::cache::PlanCache;
@@ -144,6 +145,7 @@ pub struct DcpLike {
     sink: MetricsSink,
     cache: PlanCache, // present but unused: plan_cache=false in options
     pool: Arc<PinnedPool>,
+    io: Arc<IoPool>,
     failures: Arc<FailureLog>,
 }
 
@@ -165,6 +167,7 @@ impl DcpLike {
             sink,
             cache: PlanCache::new(),
             pool: PinnedPool::new(2),
+            io: IoPool::new(1), // single-threaded file I/O, like DCP
             failures: Arc::new(FailureLog::new()),
         })
     }
@@ -193,6 +196,7 @@ impl DcpLike {
             &options,
             &self.cache,
             &self.pool,
+            &self.io,
             &self.sink,
             self.failures.clone(),
             None, // baselines persist no telemetry artifacts
@@ -213,6 +217,7 @@ impl DcpLike {
             &uri.key,
             req.state,
             &options,
+            &self.io,
             &self.sink,
             self.failures.clone(),
             0,

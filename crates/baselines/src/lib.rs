@@ -25,6 +25,7 @@ pub use offline::run_offline_reshard_job;
 
 use bcp_core::engine::load::LoadConfig;
 use bcp_core::engine::save::SaveConfig;
+use bcp_core::fault::FaultPlan;
 use bcp_core::integrity::RetryPolicy;
 use bcp_core::planner::balance::DedupStrategy;
 use bcp_core::workflow::WorkflowOptions;
@@ -45,9 +46,11 @@ pub fn baseline_workflow_options() -> WorkflowOptions {
         load: LoadConfig {
             io_threads: 1,
             chunk_bytes: u64::MAX, // no multi-threaded ranged reads
+            overlap: false,        // serial read → assemble → all-to-all
             retries: RetryPolicy::default(),
         },
         plan_cache: false,   // replan on every save
         dedup_reads: false,  // every DP replica reads everything
+        faults: FaultPlan::new(),
     }
 }

@@ -9,6 +9,7 @@
 use crate::baseline_workflow_options;
 use bcp_collectives::Communicator;
 use bcp_core::api::{LoadOutcome, LoadRequest, SaveRequest};
+use bcp_core::engine::iopool::IoPool;
 use bcp_core::engine::pool::PinnedPool;
 use bcp_core::integrity::FailureLog;
 use bcp_core::planner::cache::PlanCache;
@@ -26,6 +27,7 @@ pub struct McpLike {
     sink: MetricsSink,
     cache: PlanCache,
     pool: Arc<PinnedPool>,
+    io: Arc<IoPool>,
     failures: Arc<FailureLog>,
 }
 
@@ -47,6 +49,7 @@ impl McpLike {
             sink,
             cache: PlanCache::new(),
             pool: PinnedPool::new(2),
+            io: IoPool::new(1), // single-threaded file I/O, like MCP
             failures: Arc::new(FailureLog::new()),
         })
     }
@@ -64,6 +67,7 @@ impl McpLike {
             &baseline_workflow_options(),
             &self.cache,
             &self.pool,
+            &self.io,
             &self.sink,
             self.failures.clone(),
             None, // baselines persist no telemetry artifacts
@@ -80,6 +84,7 @@ impl McpLike {
             &uri.key,
             req.state,
             &baseline_workflow_options(),
+            &self.io,
             &self.sink,
             self.failures.clone(),
             0,

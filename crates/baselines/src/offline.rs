@@ -10,6 +10,7 @@
 use bcp_core::export::consolidate_tensor;
 use bcp_core::metadata::{GlobalMetadata, METADATA_FILE};
 use bcp_core::plan::{build_tensor_map, local_save_plan};
+use bcp_core::engine::iopool::IoPool;
 use bcp_core::engine::pool::PinnedPool;
 use bcp_core::engine::save::{execute_save, SaveConfig};
 use bcp_core::integrity::{commit_checkpoint, FailureLog};
@@ -82,6 +83,7 @@ pub fn run_offline_reshard_job(
     // Upload the new, parallelism-coupled checkpoint.
     let t1 = Instant::now();
     let pool = PinnedPool::new(2);
+    let io = IoPool::new(1);
     let sink = MetricsSink::disabled();
     let log = Arc::new(FailureLog::new());
     let cfg = SaveConfig { async_upload: false, ..Default::default() };
@@ -91,7 +93,7 @@ pub fn run_offline_reshard_job(
         let plan = local_save_plan(rank, state, "offline-job");
         uploaded += plan.total_bytes();
         let faults = bcp_core::fault::FaultHook::inert(rank);
-        execute_save(&plan, state, backend.clone(), dst_prefix, &pool, &sink, log.clone(), &cfg, meta.step, &faults, SpanContext::none())?
+        execute_save(&plan, state, backend.clone(), dst_prefix, &pool, &io, &sink, log.clone(), &cfg, meta.step, &faults, SpanContext::none())?
             .wait()?;
         plans.push(plan);
     }
@@ -141,6 +143,7 @@ mod tests {
         steps: u64,
     ) {
         let pool = PinnedPool::new(2);
+        let io = IoPool::new(1);
         let sink = MetricsSink::disabled();
         let log = Arc::new(FailureLog::new());
         let cfg = SaveConfig { async_upload: false, ..Default::default() };
@@ -150,7 +153,7 @@ mod tests {
             TrainerConfig::default().run(&mut state, 0, steps);
             let plan = lsp(rank, &state, "cpu");
             let faults = bcp_core::fault::FaultHook::inert(rank);
-            execute_save(&plan, &state, backend.clone(), prefix, &pool, &sink, log.clone(), &cfg, steps, &faults, SpanContext::none())
+            execute_save(&plan, &state, backend.clone(), prefix, &pool, &io, &sink, log.clone(), &cfg, steps, &faults, SpanContext::none())
                 .unwrap()
                 .wait()
                 .unwrap();

@@ -2,6 +2,7 @@
 //! checksumming, intersection extraction, and whole save/load pipelines
 //! against the in-memory backend.
 
+use bcp_core::engine::iopool::IoPool;
 use bcp_core::engine::pool::PinnedPool;
 use bcp_core::engine::save::{execute_save, SaveConfig};
 use bcp_core::format::{decode_frames, encode_frame};
@@ -51,6 +52,7 @@ fn bench_save_pipeline(c: &mut Criterion) {
     let plan = local_save_plan(0, &state, "cpu");
     let bytes = plan.total_bytes();
     let pool = PinnedPool::new(2);
+    let io = IoPool::new(4);
     let sink = MetricsSink::disabled();
     let mut g = c.benchmark_group("engine_save");
     g.throughput(Throughput::Bytes(bytes));
@@ -64,6 +66,7 @@ fn bench_save_pipeline(c: &mut Criterion) {
                 backend,
                 "bench",
                 &pool,
+                &io,
                 &sink,
                 log,
                 &SaveConfig { async_upload: false, ..Default::default() },

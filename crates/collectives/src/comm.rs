@@ -504,6 +504,56 @@ impl Communicator {
     }
 
     // ------------------------------------------------------------------
+    // Point-to-point messaging (eager, non-blocking sends)
+    // ------------------------------------------------------------------
+
+    /// Directional channel key for messages `from → to` within this group.
+    /// Order-dependent (unlike [`group_key`]) so the two directions of a
+    /// pair have independent sequence streams, and seeded with the group key
+    /// so distinct subgroups over the same ranks never collide.
+    fn p2p_channel(&self, from: usize, to: usize) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.group.rotate_left(29);
+        for r in [from, to] {
+            for b in (r as u64).to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        h
+    }
+
+    /// Post `value` to member `to` without blocking. The k-th send to a
+    /// given peer pairs with that peer's k-th [`Communicator::recv`] from
+    /// this rank (positional matching, like collectives). Eager sends let
+    /// the load pipeline forward intersections as soon as they are
+    /// extracted, while peers are still fetching.
+    pub fn send_async<T: Send + 'static>(&self, to: usize, value: T) -> Result<()> {
+        if !self.members.contains(&to) {
+            return Err(CollectiveError::BadInput(format!("send target {to} not a member")));
+        }
+        let chan = self.p2p_channel(self.rank, to);
+        let seq = self.world.rdv.next_seq(chan, self.rank);
+        self.world.stats.record_connection(self.rank, to);
+        self.world.stats.record_op(2, 0);
+        self.world.rdv.post(SlotKey { group: chan, seq }, value);
+        Ok(())
+    }
+
+    /// Receive the next message sent by member `from` to this rank,
+    /// blocking up to the world timeout. Errors promptly with `PeerFailed`
+    /// if `from` is marked failed before its message arrives.
+    pub fn recv<T: Send + 'static>(&self, from: usize) -> Result<T> {
+        if !self.members.contains(&from) {
+            return Err(CollectiveError::BadInput(format!("recv source {from} not a member")));
+        }
+        let chan = self.p2p_channel(from, self.rank);
+        let seq = self.world.rdv.next_seq(chan, self.rank);
+        self.world
+            .rdv
+            .take("recv", SlotKey { group: chan, seq }, from, self.world.timeout)
+    }
+
+    // ------------------------------------------------------------------
     // Data-plane collectives (always direct)
     // ------------------------------------------------------------------
 
@@ -830,6 +880,62 @@ mod tests {
         let c0 = world.communicator(0).unwrap();
         let err = c0.scatter(0, Some(vec![1])).unwrap_err();
         assert!(matches!(err, CollectiveError::BadInput(_)));
+    }
+
+    #[test]
+    fn p2p_sends_match_receives_in_order() {
+        let results = run_world(2, Backend::Flat, |c| {
+            if c.rank() == 0 {
+                for i in 0..5u32 {
+                    c.send_async(1, format!("msg-{i}")).unwrap();
+                }
+                Vec::new()
+            } else {
+                (0..5).map(|_| c.recv::<String>(0).unwrap()).collect()
+            }
+        });
+        assert_eq!(results[1], (0..5).map(|i| format!("msg-{i}")).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn p2p_directions_are_independent() {
+        // Both ranks send before either receives: non-blocking sends plus
+        // per-direction channels mean neither order can deadlock or
+        // cross-deliver.
+        let results = run_world(2, Backend::Flat, |c| {
+            let peer = 1 - c.rank();
+            c.send_async(peer, format!("from-{}", c.rank())).unwrap();
+            c.recv::<String>(peer).unwrap()
+        });
+        assert_eq!(results, vec!["from-1".to_string(), "from-0".to_string()]);
+    }
+
+    #[test]
+    fn p2p_recv_from_failed_peer_errors_promptly() {
+        let world = CommWorld::new(2, Backend::Flat);
+        world.inject_failure(0);
+        let c = world.communicator(1).unwrap();
+        let start = std::time::Instant::now();
+        let err = c.recv::<u32>(0).unwrap_err();
+        assert_eq!(err, CollectiveError::PeerFailed { rank: 0 });
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn p2p_recv_times_out_without_sender() {
+        let world =
+            CommWorld::with_timeout(2, Backend::Flat, Duration::from_millis(50));
+        let c = world.communicator(1).unwrap();
+        let err = c.recv::<u32>(0).unwrap_err();
+        assert!(matches!(err, CollectiveError::Timeout { op: "recv", .. }));
+    }
+
+    #[test]
+    fn p2p_validates_membership() {
+        let world = CommWorld::new(2, Backend::Flat);
+        let c = world.communicator(0).unwrap();
+        assert!(matches!(c.send_async(9, 1u8), Err(CollectiveError::BadInput(_))));
+        assert!(matches!(c.recv::<u8>(9), Err(CollectiveError::BadInput(_))));
     }
 
     #[test]

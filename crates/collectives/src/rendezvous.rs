@@ -40,6 +40,11 @@ pub struct Rendezvous {
     /// Ranks marked failed by failure injection.
     failed: Mutex<Vec<usize>>,
     cond: Condvar,
+    /// Point-to-point mailbox: non-blocking sends deposit here; receivers
+    /// block on [`Rendezvous::take`]. Keyed like collectives, but over a
+    /// *directional channel* key so A→B and B→A streams stay independent.
+    mailbox: Mutex<HashMap<SlotKey, AnyBox>>,
+    mail_cond: Condvar,
 }
 
 impl Rendezvous {
@@ -50,6 +55,8 @@ impl Rendezvous {
             seqs: Mutex::new(HashMap::new()),
             failed: Mutex::new(Vec::new()),
             cond: Condvar::new(),
+            mailbox: Mutex::new(HashMap::new()),
+            mail_cond: Condvar::new(),
         })
     }
 
@@ -71,12 +78,49 @@ impl Rendezvous {
     pub fn mark_failed(&self, rank: usize) {
         self.failed.lock().push(rank);
         self.cond.notify_all();
+        self.mail_cond.notify_all();
     }
 
     /// Clear the failure-injection set (tests).
     pub fn clear_failures(&self) {
         self.failed.lock().clear();
         self.cond.notify_all();
+        self.mail_cond.notify_all();
+    }
+
+    /// Deposit a point-to-point message under `key` without blocking. The
+    /// non-blocking contract is what lets a set of ranks all send before any
+    /// receives — eager forwarding cannot deadlock.
+    pub fn post<T: Send + 'static>(&self, key: SlotKey, value: T) {
+        self.mailbox.lock().insert(key, Box::new(value));
+        self.mail_cond.notify_all();
+    }
+
+    /// Take the message deposited under `key`, blocking up to `timeout`.
+    /// `from` is the expected sender: if it is marked failed before its
+    /// message arrives, this errors promptly with `PeerFailed`.
+    pub fn take<T: Send + 'static>(
+        &self,
+        op_name: &'static str,
+        key: SlotKey,
+        from: usize,
+        timeout: Duration,
+    ) -> Result<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut mailbox = self.mailbox.lock();
+        loop {
+            if let Some(boxed) = mailbox.remove(&key) {
+                return Ok(*boxed.downcast::<T>().expect("uniform p2p message type per channel"));
+            }
+            if self.failed.lock().contains(&from) {
+                return Err(CollectiveError::PeerFailed { rank: from });
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Err(CollectiveError::Timeout { op: op_name, arrived: 0, expected: 1 });
+            }
+            self.mail_cond.wait_for(&mut mailbox, remaining);
+        }
     }
 
     /// Execute one collective: deposit `input` for `rank`, wait for all

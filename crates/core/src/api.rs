@@ -18,6 +18,7 @@
 //! [`Checkpointer::load_latest`] garbage-collects torn steps under a root
 //! and resumes from the newest committed one.
 
+use crate::engine::iopool::IoPool;
 use crate::engine::pool::PinnedPool;
 use crate::fault::FaultPlan;
 use crate::integrity::{FailureLog, RetryPolicy};
@@ -265,6 +266,7 @@ impl CheckpointerBuilder {
         } else {
             (None, self.sink)
         };
+        let io_threads = self.workflow.save.io_threads.max(self.workflow.load.io_threads);
         Ok(Checkpointer {
             ctx: JobContext { comm: self.comm, framework, parallelism },
             registry,
@@ -272,6 +274,7 @@ impl CheckpointerBuilder {
             sink,
             cache: Arc::new(PlanCache::new()),
             pool: PinnedPool::new(2),
+            io: IoPool::new(io_threads),
             failures: Arc::new(FailureLog::new()),
             telemetry,
         })
@@ -287,6 +290,9 @@ pub struct Checkpointer {
     sink: MetricsSink,
     cache: Arc<PlanCache>,
     pool: Arc<PinnedPool>,
+    /// Persistent I/O worker pool shared by every save and load this
+    /// checkpointer runs (replaces per-call thread spawns).
+    io: Arc<IoPool>,
     failures: Arc<FailureLog>,
     telemetry: Option<Arc<MetricsHub>>,
 }
@@ -306,6 +312,7 @@ impl Checkpointer {
         registry: Arc<BackendRegistry>,
         options: CheckpointerOptions,
     ) -> Checkpointer {
+        let io_threads = options.workflow.save.io_threads.max(options.workflow.load.io_threads);
         Checkpointer {
             ctx: JobContext { comm, framework, parallelism },
             registry,
@@ -313,6 +320,7 @@ impl Checkpointer {
             sink: options.sink,
             cache: Arc::new(PlanCache::new()),
             pool: PinnedPool::new(2),
+            io: IoPool::new(io_threads),
             failures: Arc::new(FailureLog::new()),
             telemetry: None,
         }
@@ -366,6 +374,7 @@ impl Checkpointer {
             &self.options,
             &self.cache,
             &self.pool,
+            &self.io,
             &self.sink,
             self.failures.clone(),
             self.telemetry.clone(),
@@ -384,6 +393,7 @@ impl Checkpointer {
             &uri.key,
             req.state,
             &self.options,
+            &self.io,
             &self.sink,
             self.failures.clone(),
             0,

@@ -4,15 +4,20 @@
 //! * [`pool`] — the pinned host-memory pool with ping-pong reuse that makes
 //!   D2H capture cheap and non-blocking ("a pinned CPU memory pool combined
 //!   with a Ping-Pong buffering mechanism").
+//! * [`iopool`] — the persistent per-`Checkpointer` I/O worker pool all
+//!   upload and fetch leaf jobs run on.
 //! * [`save`] — D2H capture → serialize → dump to staging → (split-file)
 //!   upload, with the capture being the only training-blocking part in
-//!   async mode.
+//!   async mode; payloads travel as `Bytes` views of pooled capture buffers
+//!   so each tensor byte is copied exactly once.
 //! * [`load`] — ranged multi-threaded reads → intersection extraction →
-//!   local assembly ("H2D") → all-to-all forwarding of deduplicated reads.
+//!   local assembly ("H2D") → forwarding of deduplicated reads, with reads,
+//!   extraction and communication overlapped item-by-item.
 //!
 //! The helpers here ([`extract_isect`], [`Assembler`]) implement the byte
 //! geometry shared by both pipelines.
 
+pub mod iopool;
 pub mod load;
 pub mod pool;
 pub mod save;

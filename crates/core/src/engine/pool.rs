@@ -6,7 +6,16 @@
 //! allocator traffic, and — more importantly — its accounting lets tests and
 //! the simulator distinguish pooled (fast, reused) captures from cold
 //! allocations.
+//!
+//! Buffers are `BytesMut`-backed so a filled capture can be *frozen* into a
+//! [`PooledBytes`]: cheaply sharable `Bytes` views that flow through
+//! serialization and upload without further copies, and that hand the
+//! allocation back to the pool once the last view drops (single-copy save
+//! path). The pool also counts every byte copied *into* its buffers
+//! ([`PinnedPool::copied_bytes`]), which the engine benchmarks use to prove
+//! each tensor byte is touched exactly once between state dict and backend.
 
+use bytes::BytesMut;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -14,10 +23,11 @@ use std::sync::Arc;
 /// A reusable buffer pool. Buffers are size-classed by rounding up to the
 /// next power of two; `ping_pong` pairs per class are retained.
 pub struct PinnedPool {
-    classes: Mutex<std::collections::BTreeMap<u32, Vec<Vec<u8>>>>,
+    classes: Mutex<std::collections::BTreeMap<u32, Vec<BytesMut>>>,
     retain_per_class: usize,
     allocs: AtomicU64,
     reuses: AtomicU64,
+    copied: AtomicU64,
 }
 
 impl PinnedPool {
@@ -29,15 +39,23 @@ impl PinnedPool {
             retain_per_class,
             allocs: AtomicU64::new(0),
             reuses: AtomicU64::new(0),
+            copied: AtomicU64::new(0),
         })
     }
 
+    /// Smallest class whose capacity (`1 << class`) holds `size` bytes.
+    /// Exact powers of two map to their own class: `class_of(1024) == 10`.
     fn class_of(size: usize) -> u32 {
-        usize::BITS - size.next_power_of_two().leading_zeros()
+        if size <= 1 {
+            0
+        } else {
+            usize::BITS - (size - 1).leading_zeros()
+        }
     }
 
     /// Acquire a zero-length buffer with capacity ≥ `size`. The buffer
-    /// returns to the pool when the guard drops.
+    /// returns to the pool when the guard drops (or, after
+    /// [`PooledBuf::freeze`], when the last `Bytes` view drops).
     pub fn acquire(self: &Arc<Self>, size: usize) -> PooledBuf {
         let class = Self::class_of(size.max(1));
         let reused = self.classes.lock().get_mut(&class).and_then(Vec::pop);
@@ -49,7 +67,7 @@ impl PinnedPool {
             }
             None => {
                 self.allocs.fetch_add(1, Ordering::Relaxed);
-                Vec::with_capacity(1usize << class)
+                BytesMut::with_capacity(1usize << class)
             }
         };
         PooledBuf { buf, pool: self.clone(), class }
@@ -60,7 +78,19 @@ impl PinnedPool {
         (self.allocs.load(Ordering::Relaxed), self.reuses.load(Ordering::Relaxed))
     }
 
-    fn give_back(&self, class: u32, buf: Vec<u8>) {
+    /// Total bytes copied into pooled buffers so far. On the single-copy
+    /// save path this equals the plan's total payload bytes — the one
+    /// capture copy — with no further per-byte copies downstream.
+    pub fn copied_bytes(&self) -> u64 {
+        self.copied.load(Ordering::Relaxed)
+    }
+
+    fn give_back(&self, class: u32, buf: BytesMut) {
+        // Reject husks (e.g. a frozen buffer whose allocation could not be
+        // reclaimed) so pooled buffers always have their class's capacity.
+        if buf.capacity() < (1usize << class) {
+            return;
+        }
         let mut classes = self.classes.lock();
         let slot = classes.entry(class).or_default();
         if slot.len() < self.retain_per_class {
@@ -71,20 +101,48 @@ impl PinnedPool {
 
 /// RAII guard over a pooled buffer.
 pub struct PooledBuf {
-    buf: Vec<u8>,
+    buf: BytesMut,
     pool: Arc<PinnedPool>,
     class: u32,
 }
 
 impl PooledBuf {
-    /// Mutable access for filling.
-    pub fn as_mut_vec(&mut self) -> &mut Vec<u8> {
-        &mut self.buf
+    /// Copy `src` into the buffer, counting the bytes in the pool's
+    /// copy accounting.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+        self.pool.copied.fetch_add(src.len() as u64, Ordering::Relaxed);
     }
 
     /// Read access.
     pub fn as_slice(&self) -> &[u8] {
         &self.buf
+    }
+
+    /// Bytes filled so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been filled yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Current capacity.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Freeze the filled buffer into sharable, immutable [`PooledBytes`].
+    /// The allocation returns to the pool when the last view drops.
+    pub fn freeze(mut self) -> PooledBytes {
+        let buf = std::mem::take(&mut self.buf);
+        let pool = self.pool.clone();
+        let class = self.class;
+        // `self` now holds an empty husk; its Drop hands back a
+        // zero-capacity BytesMut that `give_back` rejects.
+        PooledBytes { bytes: buf.freeze(), pool, class }
     }
 }
 
@@ -92,6 +150,50 @@ impl Drop for PooledBuf {
     fn drop(&mut self) {
         let buf = std::mem::take(&mut self.buf);
         self.pool.give_back(self.class, buf);
+    }
+}
+
+/// An immutable, sharable view over a frozen pooled buffer. Cloned views
+/// ([`PooledBytes::share`]) reference the same allocation; when the last
+/// reference drops the allocation is reclaimed into the pool.
+pub struct PooledBytes {
+    bytes: bytes::Bytes,
+    pool: Arc<PinnedPool>,
+    class: u32,
+}
+
+impl PooledBytes {
+    /// A zero-copy `Bytes` view of the payload.
+    pub fn share(&self) -> bytes::Bytes {
+        self.bytes.clone()
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+impl AsRef<[u8]> for PooledBytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl Drop for PooledBytes {
+    fn drop(&mut self) {
+        let bytes = std::mem::take(&mut self.bytes);
+        // Reclaim only if no outstanding shared views reference the
+        // allocation; otherwise the allocation frees normally when the last
+        // `Bytes` clone drops.
+        if let Ok(buf) = bytes.try_into_mut() {
+            self.pool.give_back(self.class, buf);
+        }
     }
 }
 
@@ -104,7 +206,7 @@ mod tests {
         let pool = PinnedPool::new(2);
         {
             let mut a = pool.acquire(1000);
-            a.as_mut_vec().extend_from_slice(&[1, 2, 3]);
+            a.extend_from_slice(&[1, 2, 3]);
             let _b = pool.acquire(1000);
         } // both return
         {
@@ -115,6 +217,7 @@ mod tests {
         let (allocs, reuses) = pool.stats();
         assert_eq!(allocs, 3);
         assert_eq!(reuses, 2);
+        assert_eq!(pool.copied_bytes(), 3);
     }
 
     #[test]
@@ -139,9 +242,38 @@ mod tests {
         let pool = PinnedPool::new(2);
         {
             let mut a = pool.acquire(100);
-            a.as_mut_vec().extend_from_slice(&[9; 50]);
+            a.extend_from_slice(&[9; 50]);
         }
         let b = pool.acquire(100);
         assert!(b.as_slice().is_empty());
+    }
+
+    #[test]
+    fn exact_powers_of_two_do_not_round_up() {
+        // Regression: class_of used to round 1024 up to the 2048 class,
+        // doubling capture memory for exactly-sized tensors.
+        let pool = PinnedPool::new(2);
+        assert_eq!(pool.acquire(1024).capacity(), 1024);
+        assert_eq!(pool.acquire(1025).capacity(), 2048);
+        assert_eq!(pool.acquire(1).capacity(), 1);
+        assert_eq!(pool.acquire(0).capacity(), 1);
+        assert_eq!(pool.acquire(3).capacity(), 4);
+    }
+
+    #[test]
+    fn frozen_buffers_return_to_the_pool_after_last_view_drops() {
+        let pool = PinnedPool::new(2);
+        {
+            let mut a = pool.acquire(512);
+            a.extend_from_slice(&[7; 512]);
+            let frozen = a.freeze();
+            {
+                let view = frozen.share();
+                assert_eq!(&view[..4], &[7; 4]);
+            } // shared view drops first...
+        } // ...then the guard: unique again -> allocation reclaimed
+        let _again = pool.acquire(512);
+        let (allocs, reuses) = pool.stats();
+        assert_eq!((allocs, reuses), (1, 1));
     }
 }

@@ -5,17 +5,28 @@
 //! serialization and upload run on a background thread, exactly like the
 //! paper's "symmetrical, fully asynchronous pipeline comprising D2H copy,
 //! serialization, and file uploading operations".
+//!
+//! Single-copy data path: capture copies each tensor slice once into a
+//! pooled (pinned) buffer and freezes it into sharable `Bytes`.
+//! Serialization produces frame *headers* only; headers, payload views and
+//! CRC trailers travel to the backend as gather segments via
+//! [`bcp_storage::StorageBackend::write_segments`], so a tensor's bytes are
+//! touched exactly once between the state dict and the backend. All uploads
+//! (whole files and split parts) run concurrently as leaf jobs on the
+//! persistent [`IoPool`].
 
-use crate::engine::pool::PinnedPool;
+use crate::engine::iopool::IoPool;
+use crate::engine::pool::{PinnedPool, PooledBytes};
 use crate::fault::FaultHook;
-use crate::format::encode_frame;
+use crate::format::encode_frame_header;
 use crate::integrity::{with_retries, FailureLog, RetryPolicy};
 use crate::plan::SavePlan;
 use crate::{BcpError, Result};
 use bcp_model::TrainState;
 use bcp_monitor::{enter_context, MetricsSink, SpanContext};
 use bcp_storage::DynBackend;
-use bytes::{Bytes, BytesMut};
+use bcp_tensor::checksum::crc32;
+use bytes::Bytes;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -89,8 +100,9 @@ impl SaveHandle {
 ///
 /// Returns once the blocking part is done; the returned handle resolves
 /// when uploads complete. The serialized files are bit-deterministic: frame
-/// order follows the plan, so payload offsets match
-/// [`SavePlan::byte_metas`] (asserted).
+/// order follows the plan (serialization is sequential; only uploads fan
+/// out, and each file/part is one atomic gather-write), so payload offsets
+/// match [`SavePlan::byte_metas`] (asserted) for any `io_threads`.
 #[allow(clippy::too_many_arguments)] // the full engine context, passed once per save
 pub fn execute_save(
     plan: &SavePlan,
@@ -98,6 +110,7 @@ pub fn execute_save(
     backend: DynBackend,
     prefix: &str,
     pool: &Arc<PinnedPool>,
+    io: &Arc<IoPool>,
     sink: &MetricsSink,
     log: Arc<FailureLog>,
     cfg: &SaveConfig,
@@ -111,7 +124,7 @@ pub fn execute_save(
     // ---- Phase 1 (blocking): D2H capture into the pinned pool. ----
     faults.check("save/capture")?;
     let capture_timer = Instant::now();
-    let mut captured: Vec<Bytes> = Vec::with_capacity(plan.items.len());
+    let mut captured: Vec<PooledBytes> = Vec::with_capacity(plan.items.len());
     {
         let _t = sink.span_under("save/d2h", rank, step, parent).bytes(plan.total_bytes());
         for item in &plan.items {
@@ -133,10 +146,11 @@ pub fn execute_save(
                     data.len()
                 )));
             }
-            // Copy through a pooled (pinned) buffer — the D2H analogue.
+            // Copy through a pooled (pinned) buffer — the D2H analogue, and
+            // the *only* copy of the payload on the whole save path.
             let mut host = pool.acquire(end - start);
-            host.as_mut_vec().extend_from_slice(&data[start..end]);
-            captured.push(Bytes::copy_from_slice(host.as_slice()));
+            host.extend_from_slice(&data[start..end]);
+            captured.push(host.freeze());
         }
     }
     let blocking = capture_timer.elapsed();
@@ -147,61 +161,124 @@ pub fn execute_save(
     let sink = sink.clone();
     let cfg2 = cfg.clone();
     let faults = faults.clone();
+    let io = io.clone();
     let pipeline = move || -> Result<(u64, usize)> {
-        // Serialize frames per file, in plan order.
+        // `captured` outlives every staged segment view, so the pooled
+        // allocations are reclaimed (not leaked to the allocator) when the
+        // uploads finish and `captured` drops last.
+        let captured = captured;
+        // Serialize frame *headers* per file, in plan order; payloads stay
+        // as views over the capture buffers.
         faults.check("save/serialize")?;
         let expected = plan.byte_metas();
-        let mut files: BTreeMap<String, BytesMut> = BTreeMap::new();
+        let mut files: BTreeMap<String, Vec<Bytes>> = BTreeMap::new();
+        let mut cursors: BTreeMap<String, u64> = BTreeMap::new();
         {
             let _t = sink.span_under("save/serialize", rank, step, parent).bytes(plan.total_bytes());
             for ((item, payload), bm) in plan.items.iter().zip(&captured).zip(&expected) {
-                let buf = files.entry(bm.file.clone()).or_default();
-                let base = buf.len() as u64;
-                let (frame, payload_off) = encode_frame(&item.shard, item.basic.dtype, payload);
+                let payload = payload.share();
+                let header = encode_frame_header(&item.shard, item.basic.dtype, payload.len());
+                let cursor = cursors.entry(bm.file.clone()).or_default();
                 debug_assert_eq!(
-                    base + payload_off,
+                    *cursor + header.len() as u64,
                     bm.offset,
                     "planned offset must match serialization"
                 );
-                buf.extend_from_slice(&frame);
+                *cursor += crate::format::frame_len(&item.shard, payload.len()) as u64;
+                let crc = Bytes::copy_from_slice(&crc32(&payload).to_le_bytes());
+                let segs = files.entry(bm.file.clone()).or_default();
+                segs.push(header.freeze());
+                segs.push(payload);
+                segs.push(crc);
             }
         }
-        // Dump: freeze the buffers (the shared-memory staging step).
-        let staged: Vec<(String, Bytes)> = {
+        // Dump: hand the per-file segment lists over to upload (the
+        // shared-memory staging step — no bytes move here).
+        let staged: Vec<(String, Vec<Bytes>)> = {
             let mut t = sink.span_under("save/dump", rank, step, parent);
-            let staged: Vec<(String, Bytes)> =
-                files.into_iter().map(|(f, b)| (f, b.freeze())).collect();
-            t.add_bytes(staged.iter().map(|(_, d)| d.len() as u64).sum());
+            let staged: Vec<(String, Vec<Bytes>)> = files.into_iter().collect();
+            t.add_bytes(
+                staged.iter().flat_map(|(_, segs)| segs.iter().map(|s| s.len() as u64)).sum(),
+            );
             staged
         };
-        // Upload, splitting large files into concurrently-written parts.
+        // Upload: every whole file and every split part is one leaf job on
+        // the shared I/O pool, so files upload concurrently.
         faults.check("save/upload")?;
         let mut total = 0u64;
         let nfiles = staged.len();
         {
             let mut t = sink.span_under("save/upload", rank, step, parent);
             let _in_upload = t.enter();
-            for (file, data) in staged {
-                total += data.len() as u64;
-                t.add_bytes(data.len() as u64);
+            // Per-file detail spans (uncounted: the phase span above already
+            // carries the time) stay alive until their jobs complete so pool
+            // workers' storage spans nest under them.
+            let mut file_spans = Vec::with_capacity(nfiles);
+            let mut jobs: Vec<Box<dyn FnOnce() -> Result<()> + Send + 'static>> = Vec::new();
+            let mut concats: Vec<(String, Vec<String>, SpanContext)> = Vec::new();
+            for (file, segments) in staged {
+                let bytes: u64 = segments.iter().map(|s| s.len() as u64).sum();
+                total += bytes;
+                t.add_bytes(bytes);
                 let path = format!("{prefix}/{file}");
-                // Per-file detail span (uncounted: the phase span above
-                // already carries the time) so traces show which file was
-                // slow; instrumented backends nest their op spans under it.
                 let mut f = sink
                     .span_under("save/upload-file", rank, step, t.context())
                     .uncounted()
                     .path(path.clone())
-                    .bytes(data.len() as u64);
-                let _in_file = f.enter();
-                if data.len() as u64 > cfg2.split_threshold && cfg2.split_parts > 1 {
+                    .bytes(bytes);
+                let fctx = f.context();
+                if bytes > cfg2.split_threshold && cfg2.split_parts > 1 {
                     f.set_attr("split_parts", cfg2.split_parts.to_string());
-                    upload_split(&backend, &path, &data, &cfg2, &log, rank, f.context())?;
+                    let parts = split_segments(&segments, bytes as usize, cfg2.split_parts, &path);
+                    concats.push((
+                        path,
+                        parts.iter().map(|(n, _)| n.clone()).collect(),
+                        fctx,
+                    ));
+                    for (name, part_segs) in parts {
+                        let backend = backend.clone();
+                        let log = log.clone();
+                        let retries = cfg2.retries;
+                        jobs.push(Box::new(move || {
+                            let _e = enter_context(fctx);
+                            with_retries(retries, &log, rank, "save/upload-part", Some(&name), || {
+                                backend.write_segments(&name, &part_segs)
+                            })
+                        }));
+                    }
                 } else {
-                    with_retries(cfg2.retries, &log, rank, "save/upload", Some(&path), || {
-                        backend.write(&path, data.clone())
-                    })?;
+                    let backend = backend.clone();
+                    let log = log.clone();
+                    let retries = cfg2.retries;
+                    jobs.push(Box::new(move || {
+                        let _e = enter_context(fctx);
+                        with_retries(retries, &log, rank, "save/upload", Some(&path), || {
+                            backend.write_segments(&path, &segments)
+                        })
+                    }));
                 }
+                file_spans.push(f);
+            }
+            for result in io.run_batch(jobs) {
+                result?;
+            }
+            // Metadata-concat the split files once all their parts landed.
+            let concat_jobs: Vec<Box<dyn FnOnce() -> Result<()> + Send + 'static>> = concats
+                .into_iter()
+                .map(|(path, part_names, fctx)| {
+                    let backend = backend.clone();
+                    let log = log.clone();
+                    let retries = cfg2.retries;
+                    Box::new(move || {
+                        let _e = enter_context(fctx);
+                        with_retries(retries, &log, rank, "save/concat", Some(&path), || {
+                            backend.concat(&path, &part_names)
+                        })
+                    }) as Box<dyn FnOnce() -> Result<()> + Send + 'static>
+                })
+                .collect();
+            for result in io.run_batch(concat_jobs) {
+                result?;
             }
         }
         Ok((total, nfiles))
@@ -224,53 +301,41 @@ pub fn execute_save(
     }
 }
 
-/// §4.3 split upload: write `split_parts` sub-files concurrently, then
-/// metadata-concat them into the target path.
-#[allow(clippy::too_many_arguments)]
-fn upload_split(
-    backend: &DynBackend,
+/// §4.3 split upload: carve the file's segment list into `parts` byte
+/// windows at [`bcp_tensor::layout::even_split`] boundaries. Slicing `Bytes`
+/// shares the parent allocations — no payload bytes are copied.
+fn split_segments(
+    segments: &[Bytes],
+    total: usize,
+    parts: usize,
     path: &str,
-    data: &Bytes,
-    cfg: &SaveConfig,
-    log: &Arc<FailureLog>,
-    rank: usize,
-    parent: SpanContext,
-) -> Result<()> {
-    let parts: Vec<(String, Bytes)> = (0..cfg.split_parts)
+) -> Vec<(String, Vec<Bytes>)> {
+    (0..parts)
         .map(|i| {
-            let (off, len) = bcp_tensor::layout::even_split(data.len(), cfg.split_parts, i);
-            (format!("{path}.part{i}"), data.slice(off..off + len))
+            let (off, len) = bcp_tensor::layout::even_split(total, parts, i);
+            (format!("{path}.part{i}"), slice_window(segments, off, len))
         })
-        .collect();
-    let part_names: Vec<String> = parts.iter().map(|(n, _)| n.clone()).collect();
-    std::thread::scope(|s| -> Result<()> {
-        let mut handles = Vec::new();
-        for chunk in parts.chunks(cfg.split_parts.div_ceil(cfg.io_threads).max(1)) {
-            let chunk = chunk.to_vec();
-            let backend = backend.clone();
-            let log = log.clone();
-            let retries = cfg.retries;
-            handles.push(s.spawn(move || -> Result<()> {
-                // Parent the worker thread's storage spans under the
-                // upload-file span that spawned it.
-                let _e = enter_context(parent);
-                for (name, payload) in chunk {
-                    with_retries(retries, &log, rank, "save/upload-part", Some(&name), || {
-                        backend.write(&name, payload.clone())
-                    })?;
-                }
-                Ok(())
-            }));
+        .collect()
+}
+
+/// The sub-list of segment views covering bytes `[off, off + len)` of the
+/// concatenated segment stream.
+fn slice_window(segments: &[Bytes], mut off: usize, mut len: usize) -> Vec<Bytes> {
+    let mut out = Vec::new();
+    for seg in segments {
+        if len == 0 {
+            break;
         }
-        for h in handles {
-            h.join().map_err(|_| BcpError::Corrupt("upload thread panicked".into()))??;
+        if off >= seg.len() {
+            off -= seg.len();
+            continue;
         }
-        Ok(())
-    })?;
-    with_retries(cfg.retries, log, rank, "save/concat", Some(path), || {
-        backend.concat(path, &part_names)
-    })?;
-    Ok(())
+        let take = (seg.len() - off).min(len);
+        out.push(seg.slice(off..off + take));
+        off = 0;
+        len -= take;
+    }
+    out
 }
 
 #[cfg(test)]
@@ -294,6 +359,7 @@ mod tests {
     fn saved_files_match_planned_byte_metas() {
         let (plan, state, backend) = setup();
         let pool = PinnedPool::new(2);
+        let io = IoPool::new(2);
         let sink = MetricsSink::disabled();
         let log = Arc::new(FailureLog::new());
         let handle = execute_save(
@@ -302,6 +368,7 @@ mod tests {
             backend.clone(),
             "ckpt",
             &pool,
+            &io,
             &sink,
             log,
             &SaveConfig { async_upload: false, ..Default::default() },
@@ -319,6 +386,8 @@ mod tests {
             }
             per_file.values().sum::<u64>()
         });
+        // Single-copy: capture copied exactly the plan's payload bytes.
+        assert_eq!(pool.copied_bytes(), plan.total_bytes());
         // Every planned ByteMeta points at the right payload.
         for (item, bm) in plan.items.iter().zip(plan.byte_metas()) {
             let got = backend
@@ -354,10 +423,11 @@ mod tests {
             "slow",
         ));
         let pool = PinnedPool::new(2);
+        let io = IoPool::new(1);
         let sink = MetricsSink::disabled();
         let log = Arc::new(FailureLog::new());
         let handle = execute_save(
-            &plan, &state, slow, "ckpt", &pool, &sink, log,
+            &plan, &state, slow, "ckpt", &pool, &io, &sink, log,
             &SaveConfig { async_upload: true, ..Default::default() }, 0,
             &FaultHook::inert(0),
             SpanContext::none(),
@@ -376,6 +446,7 @@ mod tests {
     fn split_upload_round_trips_through_concat() {
         let (plan, state, backend) = setup();
         let pool = PinnedPool::new(2);
+        let io = IoPool::new(4);
         let sink = MetricsSink::disabled();
         let log = Arc::new(FailureLog::new());
         let cfg = SaveConfig {
@@ -390,6 +461,7 @@ mod tests {
             backend.clone(),
             "ckpt",
             &pool,
+            &io,
             &sink,
             log,
             &cfg,
@@ -416,10 +488,11 @@ mod tests {
             2,
         ));
         let pool = PinnedPool::new(2);
+        let io = IoPool::new(2);
         let sink = MetricsSink::disabled();
         let log = Arc::new(FailureLog::new());
         let handle = execute_save(
-            &plan, &state, flaky, "ckpt", &pool, &sink, log.clone(),
+            &plan, &state, flaky, "ckpt", &pool, &io, &sink, log.clone(),
             &SaveConfig { async_upload: false, ..Default::default() }, 0,
             &FaultHook::inert(0),
             SpanContext::none(),
@@ -428,5 +501,22 @@ mod tests {
         assert!(handle.wait().is_ok());
         assert!(!log.is_empty(), "failures must be logged");
         assert!(log.records().iter().all(|r| r.stage.starts_with("save/")));
+    }
+
+    #[test]
+    fn slice_window_covers_segment_boundaries() {
+        let segs = vec![
+            Bytes::from_static(b"0123"),
+            Bytes::from_static(b"45"),
+            Bytes::from_static(b"6789"),
+        ];
+        let flat = |w: Vec<Bytes>| {
+            w.iter().flat_map(|b| b.iter().copied()).collect::<Vec<u8>>()
+        };
+        assert_eq!(flat(slice_window(&segs, 0, 10)), b"0123456789");
+        assert_eq!(flat(slice_window(&segs, 3, 4)), b"3456");
+        assert_eq!(flat(slice_window(&segs, 4, 2)), b"45");
+        assert_eq!(flat(slice_window(&segs, 9, 1)), b"9");
+        assert!(slice_window(&segs, 10, 0).is_empty());
     }
 }

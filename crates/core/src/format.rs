@@ -72,12 +72,13 @@ pub struct Frame {
     pub payload: Bytes,
 }
 
-/// Serialize one frame; returns the byte offset of the payload *within the
-/// returned buffer* (the engine adds the file-level base offset to build the
-/// [`crate::ByteMeta`]).
-pub fn encode_frame(shard: &ShardMeta, dtype: DType, payload: &[u8]) -> (BytesMut, u64) {
+/// Serialize a frame *header* only (everything before the payload) for a
+/// payload of `payload_len` bytes. The single-copy save path writes the
+/// header and the (pooled) payload as separate gather segments, so the
+/// payload bytes are never copied into a frame buffer.
+pub fn encode_frame_header(shard: &ShardMeta, dtype: DType, payload_len: usize) -> BytesMut {
     let rank = shard.offsets.len();
-    let mut buf = BytesMut::with_capacity(32 + shard.fqn.len() + 16 * rank + payload.len());
+    let mut buf = BytesMut::with_capacity(header_len(shard));
     buf.put_u32_le(FRAME_MAGIC);
     buf.put_u16_le(shard.fqn.len() as u16);
     buf.put_slice(shard.fqn.as_bytes());
@@ -89,7 +90,17 @@ pub fn encode_frame(shard: &ShardMeta, dtype: DType, payload: &[u8]) -> (BytesMu
     for &l in &shard.lengths {
         buf.put_u64_le(l as u64);
     }
-    buf.put_u64_le(payload.len() as u64);
+    buf.put_u64_le(payload_len as u64);
+    debug_assert_eq!(buf.len(), header_len(shard));
+    buf
+}
+
+/// Serialize one frame; returns the byte offset of the payload *within the
+/// returned buffer* (the engine adds the file-level base offset to build the
+/// [`crate::ByteMeta`]).
+pub fn encode_frame(shard: &ShardMeta, dtype: DType, payload: &[u8]) -> (BytesMut, u64) {
+    let mut buf = encode_frame_header(shard, dtype, payload.len());
+    buf.reserve(payload.len() + 4);
     let payload_offset = buf.len() as u64;
     buf.put_slice(payload);
     buf.put_u32_le(crc32(payload));

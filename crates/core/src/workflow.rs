@@ -9,6 +9,7 @@
 //! TensorShardToBasicByteMap) → gather → redundant-read elimination →
 //! scatter → engine pipeline (reads + all-to-all forwarding) → barrier.
 
+use crate::engine::iopool::IoPool;
 use crate::engine::load::{execute_load, LoadConfig, LoadStats};
 use crate::engine::pool::PinnedPool;
 use crate::engine::save::{execute_save, SaveConfig, SaveStats};
@@ -137,6 +138,7 @@ pub fn save_checkpoint(
     options: &WorkflowOptions,
     cache: &PlanCache,
     pool: &Arc<PinnedPool>,
+    io: &Arc<IoPool>,
     sink: &MetricsSink,
     log: Arc<FailureLog>,
     telemetry: Option<Arc<MetricsHub>>,
@@ -240,6 +242,7 @@ pub fn save_checkpoint(
         backend.clone(),
         prefix,
         pool,
+        io,
         sink,
         log.clone(),
         &options.save,
@@ -256,6 +259,7 @@ pub fn save_checkpoint(
     let coordinator = ctx.coordinator();
     let prefix2 = prefix.to_string();
     let retries = options.save.retries;
+    let io2 = io.clone();
     let finalize = move || -> Result<SaveStats> {
         let mut root = root;
         // Upload dataloader shard files concurrently ("we implemented a
@@ -264,26 +268,25 @@ pub fn save_checkpoint(
         {
             let mut t = root.child("save/loader");
             let tctx = t.context();
-            std::thread::scope(|s| -> Result<()> {
-                let mut handles = Vec::new();
-                for (file, data) in &loader_payloads {
+            let jobs: Vec<Box<dyn FnOnce() -> Result<()> + Send + 'static>> = loader_payloads
+                .iter()
+                .map(|(file, data)| {
                     let backend = backend.clone();
                     let log = log.clone();
                     let path = format!("{prefix2}/{file}");
                     let data = data.clone();
-                    handles.push(s.spawn(move || {
+                    Box::new(move || {
                         // Parent the worker's storage spans under the phase.
                         let _e = enter_context(tctx);
                         with_retries(retries, &log, rank, "save/loader", Some(&path), || {
                             backend.write(&path, data.clone())
                         })
-                    }));
-                }
-                for h in handles {
-                    h.join().map_err(|_| BcpError::Corrupt("loader upload panicked".into()))??;
-                }
-                Ok(())
-            })?;
+                    }) as Box<dyn FnOnce() -> Result<()> + Send + 'static>
+                })
+                .collect();
+            for res in io2.run_batch(jobs) {
+                res?;
+            }
             t.add_bytes(loader_payloads.iter().map(|(_, d)| d.len() as u64).sum());
         }
         faults.check("save/extra")?;
@@ -434,6 +437,7 @@ pub fn load_checkpoint(
     prefix: &str,
     state: &mut TrainState,
     options: &WorkflowOptions,
+    io: &Arc<IoPool>,
     sink: &MetricsSink,
     log: Arc<FailureLog>,
     step_hint: u64,
@@ -514,6 +518,7 @@ pub fn load_checkpoint(
         backend.clone(),
         prefix,
         comm_opt,
+        io,
         sink,
         log.clone(),
         &options.load,

@@ -3,7 +3,7 @@
 //! where every span's parent exists, belongs to the same rank, and encloses
 //! the child — no orphans, no cross-rank adoption.
 
-use bcp_monitor::{enter_context, MetricsHub, SpanRecord};
+use bcp_monitor::{enter_context, MetricsHub, SpanContext, SpanRecord};
 use std::collections::HashMap;
 
 #[test]
@@ -86,6 +86,68 @@ fn concurrent_nested_save_phases_form_valid_trees() {
                 assert_eq!(by_id[&span.parent.unwrap()].name, "save/upload");
             }
             _ => {}
+        }
+    }
+}
+
+/// A persistent, channel-fed worker (the execution engine's I/O pool shape):
+/// one long-lived thread serves jobs from *many different* phases over its
+/// lifetime. Each job re-enters the context of the phase that enqueued it,
+/// so its spans parent under that phase — the worker's own thread identity
+/// leaks into no span.
+#[test]
+fn persistent_pool_worker_spans_parent_under_the_enqueuing_phase() {
+    let hub = MetricsHub::new();
+    let sink = hub.sink();
+    type Job = Box<dyn FnOnce() + Send + 'static>;
+    let (tx, rx) = std::sync::mpsc::channel::<Job>();
+    let worker = std::thread::spawn(move || {
+        while let Ok(job) = rx.recv() {
+            job();
+        }
+    });
+
+    // Two sequential phases feed the same worker; their jobs must not
+    // inherit each other's (or any stale) context.
+    for (step, phase) in [(1u64, "load/read"), (2u64, "save/upload")] {
+        let phase_span = sink.span(phase, 0, step).uncounted();
+        let ctx: SpanContext = phase_span.context();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        for _ in 0..3 {
+            let job_sink = sink.clone();
+            let done = done_tx.clone();
+            tx.send(Box::new(move || {
+                let _e = enter_context(ctx);
+                let _io = job_sink.span_in_context("storage/mem/op", 0).uncounted();
+                drop(_io);
+                done.send(()).unwrap();
+            }))
+            .unwrap();
+        }
+        drop(done_tx);
+        // The phase span stays open until its own jobs finish (as the
+        // engine's run_batch does), then closes before the next phase.
+        for _ in 0..3 {
+            done_rx.recv().unwrap();
+        }
+    }
+    drop(tx);
+    worker.join().unwrap();
+
+    let spans = hub.spans();
+    assert_eq!(spans.len(), 2 + 2 * 3);
+    let by_id: HashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    for span in spans.iter().filter(|s| s.name == "storage/mem/op") {
+        let parent = by_id
+            .get(&span.parent.expect("pool-worker spans must not be orphans"))
+            .expect("parent must resolve");
+        // Parented under the phase that enqueued the job — identified by the
+        // step stamp, which differs between the two phases.
+        assert_eq!(parent.step, span.step, "span adopted by the wrong phase");
+        match span.step {
+            1 => assert_eq!(parent.name, "load/read"),
+            2 => assert_eq!(parent.name, "save/upload"),
+            other => panic!("unexpected step {other}"),
         }
     }
 }

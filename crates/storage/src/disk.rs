@@ -65,6 +65,19 @@ impl StorageBackend for DiskBackend {
         fs::rename(&tmp, &p).map_err(io_err)
     }
 
+    fn write_segments(&self, path: &str, segments: &[Bytes]) -> Result<()> {
+        let p = self.resolve(path)?;
+        self.ensure_parent(&p)?;
+        let tmp = p.with_extension("tmp.partial");
+        {
+            let mut f = fs::File::create(&tmp).map_err(io_err)?;
+            for seg in segments {
+                f.write_all(seg).map_err(io_err)?;
+            }
+        }
+        fs::rename(&tmp, &p).map_err(io_err)
+    }
+
     fn append(&self, path: &str, data: &[u8]) -> Result<()> {
         let p = self.resolve(path)?;
         self.ensure_parent(&p)?;

@@ -152,6 +152,13 @@ impl StorageBackend for FallbackBackend {
         self.write_op(path, |b| b.write(path, data.clone()))
     }
 
+    fn write_segments(&self, path: &str, segments: &[Bytes]) -> Result<()> {
+        self.write_op(path, |b| b.write_segments(path, segments))
+    }
+
+    // `zero_copy_reads` stays `false` (the default): after a failover, reads
+    // may straddle tiers, so adjacent ranges need not share an allocation.
+
     fn append(&self, path: &str, data: &[u8]) -> Result<()> {
         self.write_op(path, |b| b.append(path, data))
     }

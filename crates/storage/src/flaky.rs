@@ -75,6 +75,15 @@ impl StorageBackend for FlakyBackend {
         self.inner.write(path, data)
     }
 
+    fn write_segments(&self, path: &str, segments: &[Bytes]) -> Result<()> {
+        self.maybe_fail(path, FailureMode::Writes)?;
+        self.inner.write_segments(path, segments)
+    }
+
+    fn zero_copy_reads(&self) -> bool {
+        self.inner.zero_copy_reads()
+    }
+
     fn append(&self, path: &str, data: &[u8]) -> Result<()> {
         self.maybe_fail(path, FailureMode::Writes)?;
         self.inner.append(path, data)

@@ -74,6 +74,19 @@ impl StorageBackend for InstrumentedBackend {
         result
     }
 
+    fn write_segments(&self, path: &str, segments: &[Bytes]) -> Result<()> {
+        let mut span = self.start_span("write_segments", path);
+        span.add_bytes(segments.iter().map(|s| s.len() as u64).sum());
+        span.set_attr("segments", segments.len().to_string());
+        let result = self.inner.write_segments(path, segments);
+        finish(&mut span, &result);
+        result
+    }
+
+    fn zero_copy_reads(&self) -> bool {
+        self.inner.zero_copy_reads()
+    }
+
     fn append(&self, path: &str, data: &[u8]) -> Result<()> {
         let mut span = self.start_span("append", path);
         span.add_bytes(data.len() as u64);

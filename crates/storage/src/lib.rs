@@ -115,6 +115,30 @@ pub trait StorageBackend: Send + Sync {
     /// Create or replace the whole object at `path`.
     fn write(&self, path: &str, data: Bytes) -> Result<()>;
 
+    /// Gather-write: create or replace the object at `path` from `segments`
+    /// concatenated in order. The engine's single-copy save path hands the
+    /// serialized frame headers and the pooled tensor payloads over as
+    /// separate segments so backends can write them without the engine ever
+    /// concatenating them into one allocation. The default implementation
+    /// concatenates once and delegates to [`StorageBackend::write`]; memory
+    /// and disk provide native implementations that avoid even that copy.
+    fn write_segments(&self, path: &str, segments: &[Bytes]) -> Result<()> {
+        let total: usize = segments.iter().map(Bytes::len).sum();
+        let mut buf = bytes::BytesMut::with_capacity(total);
+        for seg in segments {
+            buf.extend_from_slice(seg);
+        }
+        self.write(path, buf.freeze())
+    }
+
+    /// Whether `read_range` returns zero-copy views over one stable parent
+    /// allocation per object (true for memory-backed stores). Only when this
+    /// contract holds may callers stitch adjacent ranged reads back together
+    /// without copying; the default is conservatively `false`.
+    fn zero_copy_reads(&self) -> bool {
+        false
+    }
+
     /// Append to the object at `path`, creating it if absent.
     fn append(&self, path: &str, data: &[u8]) -> Result<()>;
 
@@ -159,7 +183,23 @@ pub(crate) mod conformance {
         listing_and_delete(b);
         rename_moves(b);
         concat_merges_and_removes_parts(b);
+        gather_writes(b);
         error_cases(b);
+    }
+
+    fn gather_writes(b: &dyn StorageBackend) {
+        // Multi-segment (including an empty segment) concatenates in order.
+        let segs =
+            [Bytes::from_static(b"head"), Bytes::new(), Bytes::from_static(b"payload")];
+        b.write_segments("g/multi", &segs).unwrap();
+        assert_eq!(&b.read("g/multi").unwrap()[..], b"headpayload");
+        // Single segment replaces an existing object.
+        b.write_segments("g/multi", &[Bytes::from_static(b"x")]).unwrap();
+        assert_eq!(&b.read("g/multi").unwrap()[..], b"x");
+        // Empty segment list produces an empty object.
+        b.write_segments("g/empty", &[]).unwrap();
+        assert!(b.exists("g/empty").unwrap());
+        assert_eq!(b.size("g/empty").unwrap(), 0);
     }
 
     fn whole_object_round_trip(b: &dyn StorageBackend) {

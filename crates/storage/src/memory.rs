@@ -42,6 +42,30 @@ impl StorageBackend for MemoryBackend {
         Ok(())
     }
 
+    fn write_segments(&self, path: &str, segments: &[Bytes]) -> Result<()> {
+        // Single-segment writes store the caller's Bytes zero-copy; the
+        // multi-segment case pays exactly one concatenation.
+        let data = match segments {
+            [one] => one.clone(),
+            _ => {
+                let total: usize = segments.iter().map(Bytes::len).sum();
+                let mut buf = BytesMut::with_capacity(total);
+                for seg in segments {
+                    buf.extend_from_slice(seg);
+                }
+                buf.freeze()
+            }
+        };
+        self.objects.write().insert(path.to_string(), data);
+        Ok(())
+    }
+
+    fn zero_copy_reads(&self) -> bool {
+        // `read_range` returns `Bytes::slice` views of the single stored
+        // allocation, so adjacent ranges of one object share a parent.
+        true
+    }
+
     fn append(&self, path: &str, data: &[u8]) -> Result<()> {
         let mut objects = self.objects.write();
         let entry = objects.entry(path.to_string()).or_default();

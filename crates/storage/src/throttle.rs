@@ -80,6 +80,16 @@ impl StorageBackend for Throttled {
         self.inner.write(path, data)
     }
 
+    fn write_segments(&self, path: &str, segments: &[Bytes]) -> Result<()> {
+        let total: usize = segments.iter().map(Bytes::len).sum();
+        std::thread::sleep(self.profile.delay_for(total, self.profile.write_bps));
+        self.inner.write_segments(path, segments)
+    }
+
+    fn zero_copy_reads(&self) -> bool {
+        self.inner.zero_copy_reads()
+    }
+
     fn append(&self, path: &str, data: &[u8]) -> Result<()> {
         std::thread::sleep(self.profile.delay_for(data.len(), self.profile.write_bps));
         self.inner.append(path, data)

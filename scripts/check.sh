@@ -16,4 +16,10 @@ cargo test --workspace -q
 echo "==> cargo doc --no-deps"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+echo "==> cargo bench --no-run"
+cargo bench --workspace --no-run
+
+echo "==> bench_engine smoke (writes BENCH_engine.json)"
+cargo run --release -p bcp-bench --bin bench_engine -- --smoke --out BENCH_engine.json
+
 echo "All checks passed."
