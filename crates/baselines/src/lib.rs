@@ -52,5 +52,6 @@ pub fn baseline_workflow_options() -> WorkflowOptions {
         plan_cache: false,   // replan on every save
         dedup_reads: false,  // every DP replica reads everything
         faults: FaultPlan::new(),
+        verified_fallback: false, // baselines load whatever is newest
     }
 }

@@ -75,17 +75,35 @@ impl Rendezvous {
 
     /// Mark a rank as failed: every in-flight and future rendezvous that
     /// expects it errors out promptly instead of timing out.
+    ///
+    /// The notifications are issued while holding each waiter's mutex:
+    /// without that, a waiter that has just checked the failed set and is
+    /// about to call `wait_for` misses the wakeup entirely and sleeps out
+    /// its full timeout — the overlapped-load hang window. Taking the lock
+    /// serializes this notify against every check-then-wait sequence.
     pub fn mark_failed(&self, rank: usize) {
         self.failed.lock().push(rank);
-        self.cond.notify_all();
-        self.mail_cond.notify_all();
+        {
+            let _slots = self.slots.lock();
+            self.cond.notify_all();
+        }
+        {
+            let _mailbox = self.mailbox.lock();
+            self.mail_cond.notify_all();
+        }
     }
 
     /// Clear the failure-injection set (tests).
     pub fn clear_failures(&self) {
         self.failed.lock().clear();
-        self.cond.notify_all();
-        self.mail_cond.notify_all();
+        {
+            let _slots = self.slots.lock();
+            self.cond.notify_all();
+        }
+        {
+            let _mailbox = self.mailbox.lock();
+            self.mail_cond.notify_all();
+        }
     }
 
     /// Deposit a point-to-point message under `key` without blocking. The
@@ -300,6 +318,57 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, CollectiveError::PeerFailed { rank: 1 });
         assert!(start.elapsed() < Duration::from_secs(1), "should abort fast, not wait timeout");
+    }
+
+    #[test]
+    fn exchange_aborts_promptly_when_peer_fails_mid_wait() {
+        // The failure lands while rank 0 is already blocked inside the
+        // slot condvar — the notify must not be lost to the check-then-wait
+        // window, or the exchange sleeps out the full 10s timeout.
+        let rdv = Rendezvous::new();
+        let members = vec![0usize, 1];
+        let gk = group_key(&members);
+        let seq = rdv.next_seq(gk, 0);
+        let killer = {
+            let rdv = rdv.clone();
+            thread::spawn(move || {
+                thread::sleep(Duration::from_millis(50));
+                rdv.mark_failed(1);
+            })
+        };
+        let start = std::time::Instant::now();
+        let err = rdv
+            .exchange::<(), (), _>(
+                "dies-mid-wait",
+                SlotKey { group: gk, seq },
+                &members,
+                0,
+                (),
+                Duration::from_secs(10),
+                |i| i.keys().map(|&r| (r, ())).collect(),
+            )
+            .unwrap_err();
+        killer.join().unwrap();
+        assert_eq!(err, CollectiveError::PeerFailed { rank: 1 });
+        assert!(start.elapsed() < Duration::from_secs(2), "mid-wait failure must abort promptly");
+    }
+
+    #[test]
+    fn take_aborts_promptly_when_peer_fails_mid_wait() {
+        let rdv = Rendezvous::new();
+        let key = SlotKey { group: group_key(&[0, 1]), seq: 0 };
+        let killer = {
+            let rdv = rdv.clone();
+            thread::spawn(move || {
+                thread::sleep(Duration::from_millis(50));
+                rdv.mark_failed(1);
+            })
+        };
+        let start = std::time::Instant::now();
+        let err = rdv.take::<u32>("recv-dead-peer", key, 1, Duration::from_secs(10)).unwrap_err();
+        killer.join().unwrap();
+        assert_eq!(err, CollectiveError::PeerFailed { rank: 1 });
+        assert!(start.elapsed() < Duration::from_secs(2), "mailbox wait must abort promptly");
     }
 
     #[test]

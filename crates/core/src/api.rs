@@ -21,11 +21,12 @@
 use crate::engine::iopool::IoPool;
 use crate::engine::pool::PinnedPool;
 use crate::fault::FaultPlan;
-use crate::integrity::{FailureLog, RetryPolicy};
+use crate::integrity::{FailureLog, FailureRecord, RetryPolicy};
 use crate::loader_reshard::load_loader_states;
-use crate::manager::CheckpointManager;
+use crate::manager::{CheckpointManager, QuarantinedStep};
 use crate::planner::cache::PlanCache;
 use crate::registry::BackendRegistry;
+use crate::scrub::scrub_step;
 use crate::workflow::{
     load_checkpoint, save_checkpoint, JobContext, LoadReport, SaveArgs, SaveTicket,
     WorkflowOptions,
@@ -136,6 +137,10 @@ pub struct LoadOutcome {
     pub report: LoadReport,
     /// Resharded dataloader states, when requested and present.
     pub loader: Option<(LoaderReplicatedState, LoaderShardState)>,
+    /// Steps verified-fallback loading set aside because they failed
+    /// verification (newest first). Empty for direct loads and for clean
+    /// `load_latest` resumes.
+    pub quarantined: Vec<QuarantinedStep>,
 }
 
 impl LoadOutcome {
@@ -143,6 +148,12 @@ impl LoadOutcome {
     /// resumes from.
     pub fn resumed_step(&self) -> u64 {
         self.report.metadata.step
+    }
+
+    /// Whether the load fell back past at least one quarantined step — the
+    /// trainer resumed from an *older* checkpoint than the newest on disk.
+    pub fn fell_back(&self) -> bool {
+        !self.quarantined.is_empty()
     }
 }
 
@@ -223,6 +234,15 @@ impl CheckpointerBuilder {
     /// Injected crash schedule (recovery tests only).
     pub fn fault_plan(mut self, faults: FaultPlan) -> CheckpointerBuilder {
         self.workflow.faults = faults;
+        self
+    }
+
+    /// Verified-fallback loading for [`Checkpointer::load_latest`]: scrub
+    /// the newest committed step before loading it, and when it fails CRC
+    /// or metadata cross-checks, quarantine it and fall back to the
+    /// previous committed step instead of erroring. Defaults to **on**.
+    pub fn verified_fallback(mut self, enabled: bool) -> CheckpointerBuilder {
+        self.workflow.verified_fallback = enabled;
         self
     }
 
@@ -405,7 +425,7 @@ impl Checkpointer {
             }
             None => None,
         };
-        Ok(LoadOutcome { report, loader })
+        Ok(LoadOutcome { report, loader, quarantined: Vec::new() })
     }
 
     /// One-call crash recovery: under `root` (a job's checkpoint root
@@ -417,6 +437,16 @@ impl Checkpointer {
     /// consistent even while torn prefixes are mid-deletion) and broadcasts
     /// it; every rank then runs the normal load workflow. The resumed step
     /// is available as [`LoadOutcome::resumed_step`].
+    ///
+    /// With verified fallback on (the default), the coordinator scrubs the
+    /// candidate step *before* broadcasting it: a step whose CRCs or
+    /// metadata cross-checks fail is logged to the [`FailureLog`],
+    /// quarantined under `<root>/quarantine/`, and the previous committed
+    /// step is tried instead — so one silently corrupted checkpoint costs
+    /// one step of progress, never the job. The skipped steps are surfaced
+    /// in [`LoadOutcome::quarantined`]. Verification happens coordinator-
+    /// side precisely so the fallback never needs to abort a collective
+    /// load mid-flight.
     pub fn load_latest(
         &self,
         root: impl Into<CheckpointLocation>,
@@ -426,20 +456,48 @@ impl Checkpointer {
         let root: CheckpointLocation = root.into();
         let backend = self.registry.resolve(root.uri())?;
         let coordinator = self.ctx.coordinator();
-        let chosen: Option<u64> = if self.ctx.rank() == coordinator {
+        let decision: (Option<u64>, Vec<QuarantinedStep>) = if self.ctx.rank() == coordinator {
             let mgr = CheckpointManager::new(backend.clone(), root.uri().key.clone());
             mgr.gc_torn()?;
-            let latest = mgr.latest()?.map(|c| c.step);
-            self.ctx.comm.broadcast(coordinator, Some(latest))?
+            let mut quarantined = Vec::new();
+            let chosen = loop {
+                let Some(candidate) = mgr.latest()? else { break None };
+                if !self.options.verified_fallback {
+                    break Some(candidate.step);
+                }
+                let report = scrub_step(&backend, &candidate.prefix, candidate.step)?;
+                if report.is_clean() {
+                    break Some(candidate.step);
+                }
+                let reason = report
+                    .defects()
+                    .first()
+                    .map(|i| format!("{}: {}", i.path, i.detail))
+                    .unwrap_or_else(|| "failed verification".into());
+                self.failures.log(FailureRecord {
+                    rank: self.ctx.rank(),
+                    stage: "load/verify".into(),
+                    path: Some(candidate.prefix.clone()),
+                    attempt: 1,
+                    error: reason.clone(),
+                    retried: true,
+                });
+                mgr.quarantine(candidate.step)?;
+                quarantined.push(QuarantinedStep { step: candidate.step, reason });
+            };
+            self.ctx.comm.broadcast(coordinator, Some((chosen, quarantined)))?
         } else {
             self.ctx.comm.broadcast(coordinator, None)?
         };
+        let (chosen, quarantined) = decision;
         let Some(step) = chosen else { return Ok(None) };
         let mut req = LoadRequest {
             location: root.join(&format!("step_{step}")),
             state,
             loader_target,
         };
-        self.load(&mut req).map(Some)
+        let mut outcome = self.load(&mut req)?;
+        outcome.quarantined = quarantined;
+        Ok(Some(outcome))
     }
 }

@@ -149,8 +149,15 @@ pub fn decode_frames(data: &Bytes) -> Result<Vec<Frame>> {
             lengths.push(u64::from_le_bytes(data[pos..pos + 8].try_into().unwrap()) as usize);
             pos += 8;
         }
-        let paylen = u64::from_le_bytes(data[pos..pos + 8].try_into().unwrap()) as usize;
+        let paylen64 = u64::from_le_bytes(data[pos..pos + 8].try_into().unwrap());
         pos += 8;
+        // A forged paylen near u64::MAX would wrap `paylen + 4` and sail
+        // past the bounds check; reject anything larger than the bytes
+        // actually present before converting to usize.
+        if paylen64 > (data.len() - pos) as u64 {
+            return Err(err(format!("frame payload length {paylen64} exceeds file at byte {pos}")));
+        }
+        let paylen = paylen64 as usize;
         need(pos, paylen + 4, data.len())?;
         let payload = data.slice(pos..pos + paylen);
         pos += paylen;
@@ -211,6 +218,19 @@ mod tests {
         let (buf, _) = encode_frame(&meta("x"), DType::U8, &[1, 2, 3, 4]);
         let truncated = Bytes::copy_from_slice(&buf[..buf.len() - 6]);
         assert!(matches!(decode_frames(&truncated), Err(BcpError::Corrupt(_))));
+    }
+
+    #[test]
+    fn forged_huge_paylen_is_corrupt_not_panic() {
+        // Craft a valid header, then overwrite paylen with u64::MAX: the
+        // old `paylen + 4` bounds check wrapped and the slice panicked.
+        let m = meta("x");
+        let (buf, _) = encode_frame(&m, DType::U8, &[1, 2, 3, 4]);
+        let mut forged = buf.to_vec();
+        let paylen_at = header_len(&m) - 8;
+        forged[paylen_at..paylen_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = decode_frames(&Bytes::from(forged)).unwrap_err();
+        assert!(matches!(err, BcpError::Corrupt(m) if m.contains("payload length")));
     }
 
     #[test]

@@ -22,12 +22,15 @@
 //! | §5.3 persisted per-step telemetry artifacts | [`telemetry`] |
 //! | Appendix F safetensors export | [`export`] |
 //! | §2.1/§5.1 retention & garbage collection | [`manager`] |
+//! | Appendix B crash-consistency exploration | [`crashsim`] |
+//! | Appendix B offline verification (`bcpctl scrub`) | [`scrub`] |
 //!
 //! The real execution engine moves real bytes through real storage backends;
 //! the same planner outputs also drive `bcp-sim`'s paper-scale virtual-time
 //! experiments.
 
 pub mod api;
+pub mod crashsim;
 pub mod decompose;
 pub mod engine;
 pub mod export;
@@ -40,14 +43,18 @@ pub mod metadata;
 pub mod plan;
 pub mod planner;
 pub mod registry;
+pub mod scrub;
 pub mod telemetry;
 pub mod workflow;
 
 pub use api::{Checkpointer, CheckpointerBuilder, CheckpointerOptions, LoadRequest, SaveRequest};
+pub use crashsim::{enumerate_crash_states, CrashState};
 pub use fault::{FaultHook, FaultPlan};
+pub use manager::QuarantinedStep;
 pub use metadata::{BasicMeta, ByteMeta, GlobalMetadata, ShardMeta, TensorShardEntry};
 pub use plan::{Category, ReadItem, SavePlan, WriteItem};
 pub use registry::BackendRegistry;
+pub use scrub::{scrub_step, scrub_tree, IssueKind, ScrubIssue, ScrubReport};
 
 /// Errors surfaced by the checkpointing system.
 #[derive(Debug)]

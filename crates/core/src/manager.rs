@@ -11,7 +11,7 @@
 use crate::integrity::is_committed;
 use crate::metadata::{GlobalMetadata, COMPLETE_MARKER, METADATA_FILE};
 use crate::{BcpError, Result};
-use bcp_storage::DynBackend;
+use bcp_storage::{DynBackend, StorageError};
 
 /// A discovered checkpoint under a root prefix.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +22,17 @@ pub struct CheckpointRef {
     pub prefix: String,
     /// Whether the `COMPLETE` marker is present.
     pub committed: bool,
+}
+
+/// A step set aside by verified-fallback loading because it failed
+/// verification — surfaced through `LoadOutcome` so the trainer knows why
+/// it resumed from an older step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedStep {
+    /// The step that failed verification.
+    pub step: u64,
+    /// Human-readable reason (first scrub issue, typically).
+    pub reason: String,
 }
 
 /// Manages the checkpoints of one job under a root prefix.
@@ -84,17 +95,40 @@ impl CheckpointManager {
     /// Delete a checkpoint entirely (all files under its prefix). The
     /// `COMPLETE` marker is removed *first*, so a reader racing with the
     /// deletion sees an uncommitted checkpoint, never a torn "committed"
-    /// one.
+    /// one. Already-missing files are treated as deleted — a GC pass that
+    /// crashed mid-deletion must be re-runnable, not error on the files the
+    /// first pass already reclaimed.
     pub fn delete(&self, step: u64) -> Result<()> {
         let prefix = self.prefix_for(step);
         let marker = format!("{prefix}/{COMPLETE_MARKER}");
         if self.backend.exists(&marker)? {
-            self.backend.delete(&marker)?;
+            ignore_not_found(self.backend.delete(&marker))?;
         }
         for key in self.backend.list(&format!("{prefix}/"))? {
-            self.backend.delete(&key)?;
+            ignore_not_found(self.backend.delete(&key))?;
         }
         Ok(())
+    }
+
+    /// Move every file of a step aside to `<root>/quarantine/step_<N>/`
+    /// instead of deleting it, for post-mortem analysis of a checkpoint
+    /// that failed verification. The marker is deleted first (same
+    /// reader-race argument as [`CheckpointManager::delete`]), so the step
+    /// is never half-visible as committed; the quarantine prefix does not
+    /// match `step_<N>` discovery, so quarantined data is invisible to
+    /// [`CheckpointManager::list`]. Returns the quarantine prefix.
+    pub fn quarantine(&self, step: u64) -> Result<String> {
+        let prefix = self.prefix_for(step);
+        let dest_prefix = format!("{}/quarantine/step_{step}", self.root);
+        let marker = format!("{prefix}/{COMPLETE_MARKER}");
+        if self.backend.exists(&marker)? {
+            ignore_not_found(self.backend.delete(&marker))?;
+        }
+        for key in self.backend.list(&format!("{prefix}/"))? {
+            let rel = key.strip_prefix(&format!("{prefix}/")).unwrap_or(&key);
+            ignore_not_found(self.backend.rename(&key, &format!("{dest_prefix}/{rel}")))?;
+        }
+        Ok(dest_prefix)
     }
 
     /// Retention pass: keep the newest `keep_last` committed checkpoints,
@@ -140,6 +174,11 @@ impl CheckpointManager {
         Ok(deleted)
     }
 
+    /// The job root this manager operates on.
+    pub fn root(&self) -> &str {
+        &self.root
+    }
+
     /// Total stored bytes per checkpoint (capacity accounting; the paper's
     /// storage-side monitoring watches exactly this).
     pub fn stored_bytes(&self, step: u64) -> Result<u64> {
@@ -148,6 +187,15 @@ impl CheckpointManager {
             total += self.backend.size(&key)?;
         }
         Ok(total)
+    }
+}
+
+/// Map `NotFound` to success: deletion/rename of an already-reclaimed file
+/// is the outcome the caller wanted.
+fn ignore_not_found(r: bcp_storage::Result<()>) -> Result<()> {
+    match r {
+        Err(StorageError::NotFound(_)) => Ok(()),
+        other => Ok(other?),
     }
 }
 
@@ -224,6 +272,44 @@ mod tests {
         assert!(backend.list("job/step_400/").unwrap().is_empty());
         // Idempotent on a clean root.
         assert!(m.gc_torn().unwrap().is_empty());
+    }
+
+    #[test]
+    fn gc_torn_is_idempotent_under_partial_deletion() {
+        // Model a GC that crashed mid-deletion: the marker and some files
+        // of a torn step are already gone. A second pass must reclaim the
+        // rest and succeed, not error on the missing files.
+        let (m, backend) = manager_with(&[(100, true), (200, false)]);
+        backend.delete("job/step_200/model_0.bin").unwrap();
+        let deleted = m.gc_torn().unwrap();
+        assert_eq!(deleted, vec![200]);
+        assert!(backend.list("job/step_200/").unwrap().is_empty());
+        // And again on the now-clean root.
+        assert!(m.gc_torn().unwrap().is_empty());
+    }
+
+    #[test]
+    fn delete_tolerates_concurrently_missing_files() {
+        let (m, backend) = manager_with(&[(100, true)]);
+        backend.delete("job/step_100/COMPLETE").unwrap();
+        backend.delete("job/step_100/model_0.bin").unwrap();
+        m.delete(100).unwrap();
+        assert!(backend.list("job/step_100/").unwrap().is_empty());
+    }
+
+    #[test]
+    fn quarantine_moves_step_aside_and_hides_it() {
+        let (m, backend) = manager_with(&[(100, true), (200, true)]);
+        let dest = m.quarantine(200).unwrap();
+        assert_eq!(dest, "job/quarantine/step_200");
+        // Original prefix is empty; quarantine holds the files (minus the
+        // marker, which is deleted so the data can never read as committed).
+        assert!(backend.list("job/step_200/").unwrap().is_empty());
+        let moved = backend.list("job/quarantine/step_200/").unwrap();
+        assert!(moved.contains(&"job/quarantine/step_200/model_0.bin".to_string()));
+        assert!(!moved.contains(&"job/quarantine/step_200/COMPLETE".to_string()));
+        // Discovery no longer sees the step; latest falls back.
+        assert_eq!(m.latest().unwrap().unwrap().step, 100);
     }
 
     #[test]

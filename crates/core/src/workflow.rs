@@ -74,6 +74,10 @@ pub struct WorkflowOptions {
     /// Injected crash schedule (empty in production; recovery tests kill
     /// ranks at named pipeline stages through it).
     pub faults: FaultPlan,
+    /// Verified-fallback loading: `load_latest` scrubs the newest committed
+    /// step first and falls back past corrupt ones (quarantining them)
+    /// instead of erroring.
+    pub verified_fallback: bool,
 }
 
 impl Default for WorkflowOptions {
@@ -85,6 +89,7 @@ impl Default for WorkflowOptions {
             plan_cache: true,
             dedup_reads: true,
             faults: FaultPlan::new(),
+            verified_fallback: true,
         }
     }
 }

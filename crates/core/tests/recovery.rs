@@ -209,6 +209,42 @@ fn crash_at_every_load_stage_leaves_checkpoint_loadable() {
     });
 }
 
+/// The overlapped-load hang window: a peer dying mid-load must abort the
+/// survivors *promptly* via rendezvous failure propagation — the condvar
+/// wake-up on `mark_failed`, not the collective timeout expiring. The world
+/// runs with a 10 s timeout; the whole failed load must finish far sooner.
+#[test]
+fn peer_death_mid_load_aborts_survivors_promptly() {
+    let (registry, _mem) = memory_registry();
+    run_world(registry.clone(), FaultPlan::new(), move |rank, ckpt| {
+        let state = reference_state(rank, 1);
+        ckpt.save(&SaveRequest::new("mem://jobs/train/step_1", &state, 1))
+            .unwrap()
+            .wait()
+            .unwrap();
+    });
+
+    let started = std::time::Instant::now();
+    let errs = run_world(
+        registry,
+        FaultPlan::new().kill(1, "load/read"),
+        move |rank, ckpt| {
+            let mut state = build_train_state(&zoo::tiny_gpt(), fw(), par(), rank, true);
+            ckpt.load(&mut LoadRequest::new("mem://jobs/train/step_1", &mut state))
+                .err()
+                .map(|e| e.to_string())
+        },
+    );
+    let elapsed = started.elapsed();
+    for (rank, err) in errs.iter().enumerate() {
+        assert!(err.is_some(), "rank {rank} must observe the mid-load failure");
+    }
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "survivors must abort via failure propagation, not the 10s timeout (took {elapsed:?})"
+    );
+}
+
 /// `load_latest` on an empty root is a fresh start, not an error.
 #[test]
 fn load_latest_on_empty_root_is_a_fresh_start() {

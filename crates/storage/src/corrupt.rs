@@ -1,0 +1,304 @@
+//! Corruption injection: a seeded backend wrapper that damages checkpoint
+//! data deterministically — single-bit flips, truncation, and stale-file
+//! substitution — either *at rest* (the stored object is mutated in place,
+//! modeling silent media corruption) or *on read* (the stored bytes stay
+//! intact but a reader sees damaged data, modeling a bad NIC/page-cache
+//! path). Determinism comes from a caller-supplied seed mixed with the
+//! object path, so a failing exploration run reproduces exactly.
+
+use crate::{DynBackend, Result, StorageBackend, StorageError};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What kind of damage to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Flip one bit at a seed-derived position.
+    BitFlip,
+    /// Truncate to a seed-derived shorter length.
+    Truncate,
+    /// Substitute a previously snapshotted (stale) version of the object.
+    Stale,
+}
+
+/// A backend wrapper that injects deterministic corruption.
+pub struct CorruptingBackend {
+    inner: DynBackend,
+    seed: u64,
+    /// (path substring, kind) rules applied to `read`/`read_range` results.
+    read_rules: Mutex<Vec<(String, Corruption)>>,
+    /// Saved object versions for [`Corruption::Stale`].
+    snapshots: Mutex<BTreeMap<String, Bytes>>,
+    injected: AtomicU64,
+}
+
+impl CorruptingBackend {
+    /// Wrap `inner`; `seed` drives every corruption position.
+    pub fn new(inner: DynBackend, seed: u64) -> CorruptingBackend {
+        CorruptingBackend {
+            inner,
+            seed,
+            read_rules: Mutex::new(Vec::new()),
+            snapshots: Mutex::new(BTreeMap::new()),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of corruptions injected so far (at rest + on read).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Register on-read corruption for every path containing `substring`.
+    pub fn corrupt_reads(&self, substring: &str, kind: Corruption) {
+        self.read_rules.lock().push((substring.to_string(), kind));
+    }
+
+    /// Snapshot the current content of `path` for later stale substitution.
+    pub fn snapshot(&self, path: &str) -> Result<()> {
+        let data = self.inner.read(path)?;
+        self.snapshots.lock().insert(path.to_string(), data);
+        Ok(())
+    }
+
+    /// Flip one seed-derived bit of the stored object, in place. Returns
+    /// the flipped bit index.
+    pub fn flip_bit_at_rest(&self, path: &str) -> Result<u64> {
+        let data = self.inner.read(path)?;
+        if data.is_empty() {
+            return Err(StorageError::Io(format!("cannot flip a bit in empty object {path}")));
+        }
+        let bit = self.derive(path) % (data.len() as u64 * 8);
+        let mut buf = data.to_vec();
+        buf[(bit / 8) as usize] ^= 1 << (bit % 8);
+        self.inner.write(path, Bytes::from(buf))?;
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        Ok(bit)
+    }
+
+    /// Truncate the stored object to a seed-derived strictly shorter
+    /// length, in place. Returns the new length.
+    pub fn truncate_at_rest(&self, path: &str) -> Result<u64> {
+        let data = self.inner.read(path)?;
+        if data.is_empty() {
+            return Err(StorageError::Io(format!("cannot truncate empty object {path}")));
+        }
+        let keep = self.derive(path) % data.len() as u64;
+        self.inner.write(path, data.slice(0..keep as usize))?;
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        Ok(keep)
+    }
+
+    /// Replace the stored object with its snapshotted (stale) version.
+    pub fn substitute_stale(&self, path: &str) -> Result<()> {
+        let stale = self
+            .snapshots
+            .lock()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| StorageError::NotFound(format!("no snapshot for {path}")))?;
+        self.inner.write(path, stale)?;
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Seed-and-path-derived pseudo-random value (splitmix64 over an
+    /// FNV-1a path hash), stable across runs.
+    fn derive(&self, path: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut z = self.seed ^ h;
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn rule_for(&self, path: &str) -> Option<Corruption> {
+        self.read_rules
+            .lock()
+            .iter()
+            .find(|(sub, _)| path.contains(sub.as_str()))
+            .map(|(_, kind)| *kind)
+    }
+
+    fn damage(&self, path: &str, data: Bytes, kind: Corruption) -> Bytes {
+        let out = match kind {
+            Corruption::BitFlip => {
+                if data.is_empty() {
+                    return data;
+                }
+                let bit = self.derive(path) % (data.len() as u64 * 8);
+                let mut buf = data.to_vec();
+                buf[(bit / 8) as usize] ^= 1 << (bit % 8);
+                Bytes::from(buf)
+            }
+            Corruption::Truncate => {
+                if data.is_empty() {
+                    return data;
+                }
+                let keep = self.derive(path) % data.len() as u64;
+                data.slice(0..keep as usize)
+            }
+            Corruption::Stale => match self.snapshots.lock().get(path) {
+                Some(stale) => stale.clone(),
+                None => return data,
+            },
+        };
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        out
+    }
+}
+
+impl StorageBackend for CorruptingBackend {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn write(&self, path: &str, data: Bytes) -> Result<()> {
+        self.inner.write(path, data)
+    }
+
+    fn write_segments(&self, path: &str, segments: &[Bytes]) -> Result<()> {
+        self.inner.write_segments(path, segments)
+    }
+
+    fn zero_copy_reads(&self) -> bool {
+        // Damaged reads may re-allocate; never promise stitchable views.
+        false
+    }
+
+    fn append(&self, path: &str, data: &[u8]) -> Result<()> {
+        self.inner.append(path, data)
+    }
+
+    fn read(&self, path: &str) -> Result<Bytes> {
+        let data = self.inner.read(path)?;
+        match self.rule_for(path) {
+            Some(kind) => Ok(self.damage(path, data, kind)),
+            None => Ok(data),
+        }
+    }
+
+    fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+        let data = self.inner.read_range(path, offset, len)?;
+        match self.rule_for(path) {
+            Some(kind) => Ok(self.damage(path, data, kind)),
+            None => Ok(data),
+        }
+    }
+
+    fn size(&self, path: &str) -> Result<u64> {
+        self.inner.size(path)
+    }
+
+    fn exists(&self, path: &str) -> Result<bool> {
+        self.inner.exists(path)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.inner.list(prefix)
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        self.inner.delete(path)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        self.inner.rename(from, to)
+    }
+
+    fn concat(&self, target: &str, parts: &[String]) -> Result<()> {
+        self.inner.concat(target, parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryBackend;
+    use std::sync::Arc;
+
+    fn corrupting(seed: u64) -> CorruptingBackend {
+        CorruptingBackend::new(Arc::new(MemoryBackend::new()), seed)
+    }
+
+    #[test]
+    fn passes_conformance_with_no_rules() {
+        crate::conformance::run_all(&corrupting(7));
+    }
+
+    #[test]
+    fn bit_flip_at_rest_is_deterministic_and_single_bit() {
+        let payload = Bytes::from_static(b"checkpoint shard payload");
+        let (a, b) = (corrupting(42), corrupting(42));
+        for c in [&a, &b] {
+            c.write("s/shard.bin", payload.clone()).unwrap();
+        }
+        let bit_a = a.flip_bit_at_rest("s/shard.bin").unwrap();
+        let bit_b = b.flip_bit_at_rest("s/shard.bin").unwrap();
+        assert_eq!(bit_a, bit_b, "same seed + path must flip the same bit");
+        let damaged = a.read("s/shard.bin").unwrap();
+        let diff: u32 =
+            payload.iter().zip(damaged.iter()).map(|(x, y)| (x ^ y).count_ones()).sum();
+        assert_eq!(diff, 1, "exactly one bit differs");
+        assert_eq!(a.injected(), 1);
+    }
+
+    #[test]
+    fn different_seed_flips_a_different_bit() {
+        let payload = Bytes::from(vec![0u8; 4096]);
+        let (a, b) = (corrupting(1), corrupting(2));
+        for c in [&a, &b] {
+            c.write("f", payload.clone()).unwrap();
+        }
+        assert_ne!(a.flip_bit_at_rest("f").unwrap(), b.flip_bit_at_rest("f").unwrap());
+    }
+
+    #[test]
+    fn truncate_at_rest_shrinks_object() {
+        let c = corrupting(3);
+        c.write("t", Bytes::from(vec![9u8; 100])).unwrap();
+        let keep = c.truncate_at_rest("t").unwrap();
+        assert!(keep < 100);
+        assert_eq!(c.size("t").unwrap(), keep);
+    }
+
+    #[test]
+    fn stale_substitution_restores_snapshot() {
+        let c = corrupting(4);
+        c.write("v", Bytes::from_static(b"version1")).unwrap();
+        c.snapshot("v").unwrap();
+        c.write("v", Bytes::from_static(b"version2")).unwrap();
+        c.substitute_stale("v").unwrap();
+        assert_eq!(&c.read("v").unwrap()[..], b"version1");
+    }
+
+    #[test]
+    fn on_read_rules_leave_stored_bytes_intact() {
+        let c = corrupting(5);
+        c.write("r/shard", Bytes::from_static(b"pristine bytes")).unwrap();
+        c.corrupt_reads("shard", Corruption::BitFlip);
+        let seen = c.read("r/shard").unwrap();
+        assert_ne!(&seen[..], b"pristine bytes");
+        // A second corrupting backend over the same store sees clean bytes.
+        let clean = CorruptingBackend::new(Arc::new(MemoryBackend::new()), 5);
+        clean.write("r/shard", Bytes::from_static(b"pristine bytes")).unwrap();
+        assert_eq!(&clean.read("r/shard").unwrap()[..], b"pristine bytes");
+        // Reads are repeatable: same damage every time.
+        assert_eq!(&c.read("r/shard").unwrap()[..], &seen[..]);
+    }
+
+    #[test]
+    fn on_read_truncation_applies_to_ranges() {
+        let c = corrupting(6);
+        c.write("x", Bytes::from(vec![7u8; 64])).unwrap();
+        c.corrupt_reads("x", Corruption::Truncate);
+        assert!(c.read_range("x", 0, 64).unwrap().len() < 64);
+    }
+}

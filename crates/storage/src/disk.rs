@@ -41,6 +41,17 @@ impl DiskBackend {
         }
         Ok(())
     }
+
+    /// fsync the directory containing `p` so a rename into it survives a
+    /// crash. Without this a crashed process can commit a `COMPLETE` marker
+    /// whose directory entry never reached disk.
+    fn sync_parent_dir(p: &Path) -> Result<()> {
+        #[cfg(unix)]
+        if let Some(parent) = p.parent() {
+            fs::File::open(parent).map_err(io_err)?.sync_all().map_err(io_err)?;
+        }
+        Ok(())
+    }
 }
 
 fn io_err(e: std::io::Error) -> StorageError {
@@ -59,10 +70,17 @@ impl StorageBackend for DiskBackend {
     fn write(&self, path: &str, data: Bytes) -> Result<()> {
         let p = self.resolve(path)?;
         self.ensure_parent(&p)?;
-        // Write-then-rename for atomicity against concurrent readers.
+        // Write + fsync the temp file, then rename: a crash at any point
+        // leaves either the old object or the new one, never a torn file —
+        // so a partial COMPLETE marker or global-metadata file is impossible.
         let tmp = p.with_extension("tmp.partial");
-        fs::write(&tmp, &data).map_err(io_err)?;
-        fs::rename(&tmp, &p).map_err(io_err)
+        {
+            let mut f = fs::File::create(&tmp).map_err(io_err)?;
+            f.write_all(&data).map_err(io_err)?;
+            f.sync_all().map_err(io_err)?;
+        }
+        fs::rename(&tmp, &p).map_err(io_err)?;
+        Self::sync_parent_dir(&p)
     }
 
     fn write_segments(&self, path: &str, segments: &[Bytes]) -> Result<()> {
@@ -74,8 +92,10 @@ impl StorageBackend for DiskBackend {
             for seg in segments {
                 f.write_all(seg).map_err(io_err)?;
             }
+            f.sync_all().map_err(io_err)?;
         }
-        fs::rename(&tmp, &p).map_err(io_err)
+        fs::rename(&tmp, &p).map_err(io_err)?;
+        Self::sync_parent_dir(&p)
     }
 
     fn append(&self, path: &str, data: &[u8]) -> Result<()> {
@@ -173,7 +193,8 @@ impl StorageBackend for DiskBackend {
             return Err(StorageError::NotFound(from.to_string()));
         }
         self.ensure_parent(&t)?;
-        fs::rename(&f, &t).map_err(io_err)
+        fs::rename(&f, &t).map_err(io_err)?;
+        Self::sync_parent_dir(&t)
     }
 
     fn concat(&self, target: &str, parts: &[String]) -> Result<()> {
@@ -196,6 +217,7 @@ impl StorageBackend for DiskBackend {
             out.sync_all().map_err(io_err)?;
         }
         fs::rename(&tmp, &t).map_err(io_err)?;
+        Self::sync_parent_dir(&t)?;
         for part in parts {
             let p = self.resolve(part)?;
             let _ = fs::remove_file(p);

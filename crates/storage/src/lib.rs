@@ -18,6 +18,11 @@
 //!   profiles (used to model NAS and to make monitoring output realistic).
 //! * [`flaky::FlakyBackend`] — failure injection for upload/download retry
 //!   tests (Appendix B).
+//! * [`journal::JournalBackend`] — mutation journal that materializes
+//!   arbitrary post-crash storage states (log prefixes + torn final writes)
+//!   for the crash-consistency explorer.
+//! * [`corrupt::CorruptingBackend`] — seeded bit flips, truncation and
+//!   stale-file substitution, at rest or on read.
 //! * [`fallback::FallbackBackend`] — graceful degradation: writes fail over
 //!   to a secondary tier after repeated primary failures, with the downgrade
 //!   observable for failure logging and metrics.
@@ -27,18 +32,22 @@
 //! resolved to a backend by the engine, mirroring "the Engine analyzes the
 //! given checkpoint path to determine the appropriate storage backend".
 
+pub mod corrupt;
 pub mod disk;
 pub mod fallback;
 pub mod flaky;
+pub mod journal;
 pub mod hdfs;
 pub mod instrument;
 pub mod memory;
 pub mod throttle;
 pub mod uri;
 
+pub use corrupt::{CorruptingBackend, Corruption};
 pub use disk::DiskBackend;
 pub use fallback::{FailoverEvent, FallbackBackend};
 pub use flaky::FlakyBackend;
+pub use journal::{JournalBackend, JournalOp};
 pub use hdfs::{HdfsBackend, HdfsConfig, NameNodeStats};
 pub use instrument::InstrumentedBackend;
 pub use memory::MemoryBackend;

@@ -13,6 +13,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> crash-consistency explorer smoke (bounded matrix)"
+cargo test -p bcp-core --test crash_consistency -q
+
+echo "==> bcpctl scrub CI exit-code check"
+cargo test --test bcpctl_cli -q scrub
+
 echo "==> cargo doc --no-deps"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

@@ -8,6 +8,7 @@
 //! bcpctl export  <checkpoint-dir> <out>  # consolidate into a .safetensors
 //! bcpctl retain  <job-root-dir> <k>      # keep newest k, delete the rest
 //! bcpctl gc      <job-root-dir>          # delete every torn (uncommitted) step
+//! bcpctl scrub   <job-root-dir> [flags]  # full-sweep integrity check (CI)
 //! bcpctl report  <job-root-dir> [flags]  # offline telemetry report (§5.3)
 //! ```
 //!
@@ -22,6 +23,15 @@
 //! artifact instead of the save one), `--min-mbps <X>` (slow-I/O threshold,
 //! default 10), `--trace <out.json>` (dump a Chrome/Perfetto trace),
 //! `--csv <out.csv>` (dump the flat records).
+//!
+//! `scrub` sweeps every `step_<N>` under the job root: metadata must parse
+//! and validate, every `ByteMeta` file/offset/length must exist and land on
+//! a CRC-verified frame payload, and unreferenced files are reported as
+//! orphans. Any defect in a *committed* step makes the process exit
+//! non-zero (for CI); uncommitted torn debris is named but only fails the
+//! run when no committed step exists. `--quarantine` moves each corrupt
+//! committed step aside to `<root>/quarantine/` so the next `load_latest`
+//! resumes from the newest clean step.
 
 use bytecheckpoint::core::export::export_safetensors;
 use bytecheckpoint::core::format::decode_frames;
@@ -33,7 +43,7 @@ use bytecheckpoint::monitor::{
     render_breakdown, render_heatmap, HeatmapSpec, StepTelemetry, TELEMETRY_LOAD_FILE,
     TELEMETRY_SAVE_FILE,
 };
-use bytecheckpoint::prelude::{CheckpointManager, DiskBackend, DynBackend};
+use bytecheckpoint::prelude::{scrub_tree, CheckpointManager, DiskBackend, DynBackend};
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -47,10 +57,11 @@ fn main() -> ExitCode {
         [cmd, dir, out] if cmd == "export" => cmd_export(dir, out),
         [cmd, dir, k] if cmd == "retain" => cmd_retain(dir, k),
         [cmd, dir] if cmd == "gc" => cmd_gc(dir),
+        [cmd, dir, flags @ ..] if cmd == "scrub" => cmd_scrub(dir, flags),
         [cmd, dir, flags @ ..] if cmd == "report" => cmd_report(dir, flags),
         _ => {
             eprintln!(
-                "usage: bcpctl <list|inspect|verify|gc> <dir> | export <dir> <out> | retain <dir> <k> | report <dir> [--step N] [--load] [--min-mbps X] [--trace out.json] [--csv out.csv]"
+                "usage: bcpctl <list|inspect|verify|gc> <dir> | export <dir> <out> | retain <dir> <k> | scrub <dir> [--quarantine] | report <dir> [--step N] [--load] [--min-mbps X] [--trace out.json] [--csv out.csv]"
             );
             return ExitCode::from(2);
         }
@@ -219,6 +230,57 @@ fn cmd_gc(dir: &str) -> Result<(), AnyError> {
         println!("no torn checkpoints under {dir}");
     } else {
         println!("garbage-collected torn steps: {deleted:?}");
+    }
+    Ok(())
+}
+
+fn cmd_scrub(dir: &str, flags: &[String]) -> Result<(), AnyError> {
+    let mut quarantine = false;
+    for flag in flags {
+        match flag.as_str() {
+            "--quarantine" => quarantine = true,
+            other => return Err(format!("unknown scrub flag {other:?}").into()),
+        }
+    }
+    let (backend, root) = open(dir)?;
+    let reports = scrub_tree(&backend, &root)?;
+    if reports.is_empty() {
+        return Err(format!("no step_<N> checkpoints under {dir}").into());
+    }
+    let mgr = CheckpointManager::new(backend, root);
+    let mut bad_committed = 0usize;
+    let mut clean_committed = 0usize;
+    for r in &reports {
+        println!("{}", r.summary());
+        for issue in &r.issues {
+            println!("  [{}] {}: {}", issue.kind, issue.path, issue.detail);
+        }
+        if !r.committed {
+            println!("  torn save (no COMPLETE marker) — `bcpctl gc` removes it");
+            continue;
+        }
+        if r.is_clean() {
+            clean_committed += 1;
+        } else {
+            bad_committed += 1;
+            if quarantine {
+                let dest = mgr.quarantine(r.step)?;
+                println!("  quarantined step {} -> {dest}", r.step);
+            }
+        }
+    }
+    println!(
+        "scrubbed {} step(s): {clean_committed} clean committed, {bad_committed} corrupt",
+        reports.len()
+    );
+    if bad_committed > 0 {
+        return Err(format!(
+            "{bad_committed} committed step(s) failed verification (see defects above)"
+        )
+        .into());
+    }
+    if clean_committed == 0 {
+        return Err("no committed step verifies: nothing to resume from".into());
     }
     Ok(())
 }

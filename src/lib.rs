@@ -77,10 +77,12 @@ pub mod prelude {
         Checkpointer, CheckpointerBuilder, CheckpointerOptions, LoadOutcome, LoadRequest,
         SaveRequest,
     };
+    pub use bcp_core::crashsim::{enumerate_crash_states, CrashState};
     pub use bcp_core::fault::FaultPlan;
     pub use bcp_core::integrity::RetryPolicy;
-    pub use bcp_core::manager::CheckpointManager;
+    pub use bcp_core::manager::{CheckpointManager, QuarantinedStep};
     pub use bcp_core::registry::BackendRegistry;
+    pub use bcp_core::scrub::{scrub_step, scrub_tree, ScrubReport};
     pub use bcp_core::telemetry::read_step_telemetry;
     pub use bcp_core::workflow::WorkflowOptions;
     pub use bcp_monitor::{
@@ -91,8 +93,9 @@ pub mod prelude {
     pub use bcp_model::{zoo, ExtraState, Framework, TrainState, TrainerConfig};
     pub use bcp_storage::uri::Scheme;
     pub use bcp_storage::{
-        CheckpointLocation, DiskBackend, DynBackend, FallbackBackend, FlakyBackend, HdfsBackend,
-        InstrumentedBackend, MemoryBackend, StorageUri,
+        CheckpointLocation, CorruptingBackend, Corruption, DiskBackend, DynBackend,
+        FallbackBackend, FlakyBackend, HdfsBackend, InstrumentedBackend, JournalBackend,
+        MemoryBackend, StorageUri,
     };
     pub use bcp_tensor::{DType, Tensor};
     pub use bcp_topology::{Parallelism, ShardSpec};

@@ -8,8 +8,9 @@ use std::process::Command;
 use std::sync::Arc;
 
 /// Save two real checkpoints (steps 10 and 20) under `<dir>/job/step_<N>`.
-fn make_job_dir() -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!("bcpctl-it-{}", std::process::id()));
+/// `tag` keeps concurrently running tests in separate trees.
+fn make_job_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("bcpctl-it-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let disk: DynBackend = Arc::new(DiskBackend::new(&dir).unwrap());
     let registry = {
@@ -46,7 +47,7 @@ fn bcpctl(args: &[&str]) -> (bool, String) {
 
 #[test]
 fn list_inspect_verify_export_retain() {
-    let dir = make_job_dir();
+    let dir = make_job_dir("main");
     let job = dir.join("job");
     let job_s = job.to_string_lossy().to_string();
 
@@ -96,6 +97,55 @@ fn list_inspect_verify_export_retain() {
     // bad usage exits non-zero.
     let (ok, _) = bcpctl(&["frobnicate"]);
     assert!(!ok);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scrub_fails_ci_on_corruption_and_quarantines() {
+    let dir = make_job_dir("scrub");
+    let job = dir.join("job");
+    let job_s = job.to_string_lossy().to_string();
+
+    // A clean tree scrubs clean: exit zero, every step summarized.
+    let (ok, text) = bcpctl(&["scrub", &job_s]);
+    assert!(ok, "{text}");
+    assert!(text.contains("step 10:"), "{text}");
+    assert!(text.contains("step 20:"), "{text}");
+    assert!(text.contains("2 clean committed"), "{text}");
+
+    // Flip one byte of a step-20 shard file. The sweep must exit non-zero
+    // (CI gate) and name the corrupt file.
+    let victim = std::fs::read_dir(job.join("step_20"))
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "bin"))
+        .expect("step 20 holds at least one shard file");
+    let victim_name = victim.file_name().unwrap().to_string_lossy().to_string();
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&victim, bytes).unwrap();
+
+    let (ok, text) = bcpctl(&["scrub", &job_s]);
+    assert!(!ok, "a corrupt committed step must fail the sweep: {text}");
+    assert!(text.contains(&victim_name), "output must name the corrupt shard file: {text}");
+
+    // --quarantine moves the corrupt step aside (still exiting non-zero so
+    // CI sees the incident), after which the tree scrubs clean on step 10.
+    let (ok, text) = bcpctl(&["scrub", &job_s, "--quarantine"]);
+    assert!(!ok, "{text}");
+    assert!(text.contains("quarantined step 20"), "{text}");
+    assert!(!job.join("step_20").join("COMPLETE").exists(), "step 20 must leave the live tree");
+    assert!(
+        job.join("quarantine").join("step_20").join(&victim_name).exists(),
+        "the corrupt shard must be preserved under quarantine/"
+    );
+
+    let (ok, text) = bcpctl(&["scrub", &job_s]);
+    assert!(ok, "after quarantine the tree must scrub clean: {text}");
+    assert!(text.contains("1 clean committed"), "{text}");
 
     let _ = std::fs::remove_dir_all(&dir);
 }
