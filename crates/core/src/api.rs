@@ -20,7 +20,8 @@
 
 use crate::engine::iopool::IoPool;
 use crate::engine::pool::PinnedPool;
-use crate::fault::FaultPlan;
+use crate::fault::{FaultHook, FaultPlan};
+use crate::hottier::{assemble_hot_step, TierBreakdown};
 use crate::integrity::{FailureLog, FailureRecord, RetryPolicy};
 use crate::loader_reshard::load_loader_states;
 use crate::manager::{CheckpointManager, QuarantinedStep};
@@ -28,15 +29,15 @@ use crate::planner::cache::PlanCache;
 use crate::registry::BackendRegistry;
 use crate::scrub::scrub_step;
 use crate::workflow::{
-    load_checkpoint, save_checkpoint, JobContext, LoadReport, SaveArgs, SaveTicket,
-    WorkflowOptions,
+    load_checkpoint_tiered, save_checkpoint_hot, JobContext, LoadReport, SaveArgs, SaveTicket,
+    TierOverlay, WorkflowOptions,
 };
 use crate::{BcpError, Result};
 use bcp_collectives::Communicator;
 use bcp_dataloader::{LoaderReplicatedState, LoaderShardState};
 use bcp_model::{ExtraState, Framework, TrainState};
 use bcp_monitor::{MetricsHub, MetricsSink};
-use bcp_storage::{CheckpointLocation, DynBackend, InstrumentedBackend};
+use bcp_storage::{CheckpointLocation, DynBackend, HotTier, InstrumentedBackend};
 use bcp_topology::Parallelism;
 use std::sync::Arc;
 
@@ -144,6 +145,19 @@ pub struct LoadOutcome {
 }
 
 impl LoadOutcome {
+    /// Recovery-tier breakdown of this load, when it ran through the hot
+    /// tier (`None` for plain cold loads).
+    pub fn tier(&self) -> Option<&TierBreakdown> {
+        self.report.tier.as_ref()
+    }
+
+    /// Fraction of shard files served from the hot tier (0 for cold loads).
+    pub fn hot_fraction(&self) -> f64 {
+        self.report.tier.as_ref().map(TierBreakdown::hot_fraction).unwrap_or(0.0)
+    }
+}
+
+impl LoadOutcome {
     /// The global step the loaded checkpoint was saved at — where training
     /// resumes from.
     pub fn resumed_step(&self) -> u64 {
@@ -183,6 +197,7 @@ pub struct CheckpointerBuilder {
     workflow: WorkflowOptions,
     sink: MetricsSink,
     telemetry: bool,
+    hot_handle: Option<Arc<HotTier>>,
 }
 
 impl CheckpointerBuilder {
@@ -195,6 +210,7 @@ impl CheckpointerBuilder {
             workflow: WorkflowOptions::default(),
             sink: MetricsSink::disabled(),
             telemetry: true,
+            hot_handle: None,
         }
     }
 
@@ -246,6 +262,49 @@ impl CheckpointerBuilder {
         self
     }
 
+    /// Tiered recovery (hot tier): replicate every committed step's shard
+    /// files into an in-process bounded ring on this rank and on `R` peer
+    /// ranks placed on other hosts, and let [`Checkpointer::load_latest`]
+    /// recover through those copies before the persistent tree. Defaults to
+    /// **off**; must agree across ranks (the replication exchange and the
+    /// recovery assembly are symmetric collectives).
+    pub fn hot_tier(mut self, enabled: bool) -> CheckpointerBuilder {
+        self.workflow.hot.enabled = enabled;
+        self
+    }
+
+    /// Peer replicas per shard (R) for the hot tier. Capped at
+    /// `num_hosts - 1` by the failure-domain-aware placement. Default 1.
+    pub fn hot_tier_replicas(mut self, replicas: usize) -> CheckpointerBuilder {
+        self.workflow.hot.replicas = replicas;
+        self
+    }
+
+    /// Hot-ring capacity in steps (K): how many recent committed steps stay
+    /// resident. Default 2.
+    pub fn hot_tier_capacity(mut self, steps: usize) -> CheckpointerBuilder {
+        self.workflow.hot.capacity_steps = steps.max(1);
+        self
+    }
+
+    /// Ranks per failure domain (host) for replica placement: replicas are
+    /// never placed on the source's host. Default 1 (every rank its own
+    /// host).
+    pub fn hot_tier_layout(mut self, gpus_per_host: usize) -> CheckpointerBuilder {
+        self.workflow.hot.gpus_per_host = gpus_per_host.max(1);
+        self
+    }
+
+    /// Use an externally-owned [`HotTier`] instead of a private one —
+    /// modeling host memory that outlives a worker process (the chaos
+    /// harness restarts `Checkpointer`s against the same tiers). Implies
+    /// [`CheckpointerBuilder::hot_tier`]`(true)`.
+    pub fn hot_tier_handle(mut self, tier: Arc<HotTier>) -> CheckpointerBuilder {
+        self.workflow.hot.enabled = true;
+        self.hot_handle = Some(tier);
+        self
+    }
+
     /// Metrics destination (defaults to disabled).
     pub fn sink(mut self, sink: MetricsSink) -> CheckpointerBuilder {
         self.sink = sink;
@@ -287,6 +346,10 @@ impl CheckpointerBuilder {
             (None, self.sink)
         };
         let io_threads = self.workflow.save.io_threads.max(self.workflow.load.io_threads);
+        let hot = self.workflow.hot.enabled.then(|| {
+            self.hot_handle
+                .unwrap_or_else(|| Arc::new(HotTier::new(self.workflow.hot.capacity_steps)))
+        });
         Ok(Checkpointer {
             ctx: JobContext { comm: self.comm, framework, parallelism },
             registry,
@@ -297,6 +360,7 @@ impl CheckpointerBuilder {
             io: IoPool::new(io_threads),
             failures: Arc::new(FailureLog::new()),
             telemetry,
+            hot,
         })
     }
 }
@@ -315,6 +379,8 @@ pub struct Checkpointer {
     io: Arc<IoPool>,
     failures: Arc<FailureLog>,
     telemetry: Option<Arc<MetricsHub>>,
+    /// The in-process hot tier, when tiered recovery is enabled.
+    hot: Option<Arc<HotTier>>,
 }
 
 impl Checkpointer {
@@ -343,6 +409,7 @@ impl Checkpointer {
             io: IoPool::new(io_threads),
             failures: Arc::new(FailureLog::new()),
             telemetry: None,
+            hot: None,
         }
     }
 
@@ -386,7 +453,7 @@ impl Checkpointer {
     pub fn save(&self, req: &SaveRequest<'_>) -> Result<SaveTicket> {
         let uri = req.location.uri();
         let backend = self.instrumented(self.registry.resolve(uri)?);
-        save_checkpoint(
+        save_checkpoint_hot(
             &self.ctx,
             backend,
             &uri.key,
@@ -398,16 +465,30 @@ impl Checkpointer {
             &self.sink,
             self.failures.clone(),
             self.telemetry.clone(),
+            self.hot.clone(),
         )
+    }
+
+    /// The in-process hot tier, when tiered recovery is enabled.
+    pub fn hot_tier(&self) -> Option<&Arc<HotTier>> {
+        self.hot.as_ref()
     }
 
     /// `bytecheckpoint.load`: fill the request's target states from the
     /// request's location, resharding automatically when the parallelism
     /// changed.
     pub fn load(&self, req: &mut LoadRequest<'_>) -> Result<LoadOutcome> {
+        self.load_with_overlay(req, None)
+    }
+
+    fn load_with_overlay(
+        &self,
+        req: &mut LoadRequest<'_>,
+        overlay: Option<TierOverlay>,
+    ) -> Result<LoadOutcome> {
         let uri = req.location.uri().clone();
         let backend = self.instrumented(self.registry.resolve(&uri)?);
-        let report = load_checkpoint(
+        let report = load_checkpoint_tiered(
             &self.ctx,
             backend.clone(),
             &uri.key,
@@ -418,6 +499,7 @@ impl Checkpointer {
             self.failures.clone(),
             0,
             self.telemetry.clone(),
+            overlay,
         )?;
         let loader = match req.loader_target {
             Some((dp, workers, my_dp)) => {
@@ -491,12 +573,32 @@ impl Checkpointer {
         };
         let (chosen, quarantined) = decision;
         let Some(step) = chosen else { return Ok(None) };
-        let mut req = LoadRequest {
-            location: root.join(&format!("step_{step}")),
-            state,
-            loader_target,
+        let location = root.join(&format!("step_{step}"));
+        // Rung 1 of the recovery ladder: assemble the chosen step from the
+        // peer-replicated hot tier (CRC-verified per file; any miss or
+        // defect is recorded and simply reads cold). A collective — every
+        // rank participates whenever the hot tier is enabled, even with an
+        // empty ring.
+        let overlay: Option<TierOverlay> = match (&self.hot, self.options.hot.enabled) {
+            (Some(hot), true) => {
+                let faults = {
+                    let comm = self.ctx.comm.clone();
+                    FaultHook::new(self.options.faults.clone(), self.ctx.rank())
+                        .with_on_kill(move || comm.mark_self_failed())
+                };
+                let assembly = assemble_hot_step(
+                    &self.ctx.comm,
+                    hot,
+                    &faults,
+                    step,
+                    &location.uri().key,
+                )?;
+                Some((assembly.files, assembly.fallbacks))
+            }
+            _ => None,
         };
-        let mut outcome = self.load(&mut req)?;
+        let mut req = LoadRequest { location, state, loader_target };
+        let mut outcome = self.load_with_overlay(&mut req, overlay)?;
         outcome.quarantined = quarantined;
         Ok(Some(outcome))
     }

@@ -96,6 +96,11 @@ impl SaveHandle {
     }
 }
 
+/// Per-save collection point for the hot tier: the async pipeline deposits
+/// each fully-uploaded file's assembled bytes here, so the workflow's
+/// finalize tail can replicate them to peers without re-reading storage.
+pub type HotStaging = Arc<parking_lot::Mutex<Vec<(String, Bytes)>>>;
+
 /// Execute a rank's save plan against `backend` under `prefix`.
 ///
 /// Returns once the blocking part is done; the returned handle resolves
@@ -117,6 +122,30 @@ pub fn execute_save(
     step: u64,
     faults: &FaultHook,
     parent: SpanContext,
+) -> Result<SaveHandle> {
+    execute_save_staged(
+        plan, state, backend, prefix, pool, io, sink, log, cfg, step, faults, parent, None,
+    )
+}
+
+/// [`execute_save`] with an optional hot-tier staging sink: when `Some`,
+/// every uploaded file's assembled bytes (segments stitched once, off the
+/// training-blocking path) are deposited into it after the uploads succeed.
+#[allow(clippy::too_many_arguments)] // the full engine context, passed once per save
+pub fn execute_save_staged(
+    plan: &SavePlan,
+    state: &TrainState,
+    backend: DynBackend,
+    prefix: &str,
+    pool: &Arc<PinnedPool>,
+    io: &Arc<IoPool>,
+    sink: &MetricsSink,
+    log: Arc<FailureLog>,
+    cfg: &SaveConfig,
+    step: u64,
+    faults: &FaultHook,
+    parent: SpanContext,
+    hot_staging: Option<HotStaging>,
 ) -> Result<SaveHandle> {
     let rank = plan.rank;
     let started = Instant::now();
@@ -202,6 +231,10 @@ pub fn execute_save(
             );
             staged
         };
+        // Keep cheap segment views (refcounted `Bytes` clones) so the hot
+        // tier can assemble whole-file copies after the uploads succeed.
+        let hot_views: Option<Vec<(String, Vec<Bytes>)>> =
+            hot_staging.as_ref().map(|_| staged.clone());
         // Upload: every whole file and every split part is one leaf job on
         // the shared I/O pool, so files upload concurrently.
         faults.check("save/upload")?;
@@ -279,6 +312,19 @@ pub fn execute_save(
                 .collect();
             for result in io.run_batch(concat_jobs) {
                 result?;
+            }
+        }
+        // Stage hot-tier copies only for files that actually landed: stitch
+        // each file's segments once (off the training-blocking path).
+        if let (Some(staging), Some(views)) = (&hot_staging, hot_views) {
+            let mut out = staging.lock();
+            for (file, segs) in views {
+                let len: usize = segs.iter().map(Bytes::len).sum();
+                let mut buf = bytes::BytesMut::with_capacity(len);
+                for s in &segs {
+                    buf.extend_from_slice(s);
+                }
+                out.push((file, buf.freeze()));
             }
         }
         Ok((total, nfiles))

@@ -12,8 +12,9 @@
 use crate::engine::iopool::IoPool;
 use crate::engine::load::{execute_load, LoadConfig, LoadStats};
 use crate::engine::pool::PinnedPool;
-use crate::engine::save::{execute_save, SaveConfig, SaveStats};
+use crate::engine::save::{execute_save_staged, HotStaging, SaveConfig, SaveStats};
 use crate::fault::{FaultHook, FaultPlan};
+use crate::hottier::{replicate_after_commit, HotTierOptions, TierBreakdown};
 use crate::integrity::{commit_checkpoint, is_committed, with_retries, FailureLog, FailureRecord};
 use crate::metadata::{
     GlobalMetadata, LoaderMap, LoaderShardFileEntry, COMPLETE_MARKER, METADATA_FILE,
@@ -30,8 +31,10 @@ use bcp_collectives::Communicator;
 use bcp_dataloader::{LoaderReplicatedState, LoaderShardState};
 use bcp_model::{ExtraState, Framework, TrainState};
 use bcp_monitor::{enter_context, MetricsHub, MetricsSink, TELEMETRY_LOAD_FILE, TELEMETRY_SAVE_FILE};
-use bcp_storage::DynBackend;
+use bcp_storage::hot::HotTier;
+use bcp_storage::{DynBackend, TieredReadBackend};
 use bytes::Bytes;
+use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -78,6 +81,11 @@ pub struct WorkflowOptions {
     /// step first and falls back past corrupt ones (quarantining them)
     /// instead of erroring.
     pub verified_fallback: bool,
+    /// Tiered recovery: peer-replicate committed shard files into the
+    /// in-process hot tier and recover through it before the persistent
+    /// tree. Must agree across ranks (the replication exchange is a
+    /// symmetric collective).
+    pub hot: HotTierOptions,
 }
 
 impl Default for WorkflowOptions {
@@ -90,6 +98,7 @@ impl Default for WorkflowOptions {
             dedup_reads: true,
             faults: FaultPlan::new(),
             verified_fallback: true,
+            hot: HotTierOptions::default(),
         }
     }
 }
@@ -147,6 +156,30 @@ pub fn save_checkpoint(
     sink: &MetricsSink,
     log: Arc<FailureLog>,
     telemetry: Option<Arc<MetricsHub>>,
+) -> Result<SaveTicket> {
+    save_checkpoint_hot(
+        ctx, backend, prefix, args, options, cache, pool, io, sink, log, telemetry, None,
+    )
+}
+
+/// [`save_checkpoint`] with an optional hot tier: when present (and
+/// `options.hot.enabled`), the finalize tail replicates the committed step's
+/// shard files into `hot_tier` and to `R` placement peers, off the save
+/// critical path.
+#[allow(clippy::too_many_arguments)]
+pub fn save_checkpoint_hot(
+    ctx: &JobContext,
+    backend: DynBackend,
+    prefix: &str,
+    args: SaveArgs<'_>,
+    options: &WorkflowOptions,
+    cache: &PlanCache,
+    pool: &Arc<PinnedPool>,
+    io: &Arc<IoPool>,
+    sink: &MetricsSink,
+    log: Arc<FailureLog>,
+    telemetry: Option<Arc<MetricsHub>>,
+    hot_tier: Option<Arc<HotTier>>,
 ) -> Result<SaveTicket> {
     let rank = ctx.rank();
     let step = args.step;
@@ -241,7 +274,10 @@ pub fn save_checkpoint(
     };
 
     // ---- Engine pipeline (blocking part = capture). ----
-    let handle = execute_save(
+    let hot_active = hot_tier.is_some() && options.hot.enabled;
+    let staging: Option<HotStaging> =
+        hot_active.then(|| Arc::new(parking_lot::Mutex::new(Vec::new())));
+    let handle = execute_save_staged(
         &final_plan,
         args.state,
         backend.clone(),
@@ -254,6 +290,7 @@ pub fn save_checkpoint(
         step,
         &faults,
         root.context(),
+        staging.clone(),
     )?;
     let blocking = blocking_start.elapsed();
 
@@ -265,6 +302,7 @@ pub fn save_checkpoint(
     let prefix2 = prefix.to_string();
     let retries = options.save.retries;
     let io2 = io.clone();
+    let hot_opts = options.hot.clone();
     let finalize = move || -> Result<SaveStats> {
         let mut root = root;
         // Upload dataloader shard files concurrently ("we implemented a
@@ -339,6 +377,29 @@ pub fn save_checkpoint(
                 }
             })?;
             root.event("commit");
+        }
+        // Hot-tier replication, strictly after the commit (only committed
+        // steps are worth replicating) and still off the training-blocking
+        // path. A peer dying mid-exchange is logged best-effort: the
+        // checkpoint is already durable, the hot hit rate just drops.
+        if let (Some(hot), Some(staging)) = (&hot_tier, &staging) {
+            faults.check("save/hot")?;
+            let files = std::mem::take(&mut *staging.lock());
+            let mut t = root.child("save/hot_replicate").uncounted();
+            t.set_attr("files", files.len().to_string());
+            t.set_attr("replicas", hot_opts.replicas.to_string());
+            t.add_bytes(files.iter().map(|(_, b)| b.len() as u64).sum());
+            let _in_hot = t.enter();
+            if let Err(e) = replicate_after_commit(&comm, hot, &hot_opts, step, files) {
+                log.log(FailureRecord {
+                    rank,
+                    stage: "save/hot".into(),
+                    path: Some(prefix2.clone()),
+                    attempt: 1,
+                    error: e.to_string(),
+                    retried: false,
+                });
+            }
         }
         // The checkpoint is committed: close the root span and persist the
         // step's telemetry artifact next to the data (best-effort — a
@@ -431,7 +492,14 @@ pub struct LoadReport {
     pub metadata: GlobalMetadata,
     /// Extra state recovered for this rank (rank 0's when the world grew).
     pub extra: Option<ExtraState>,
+    /// Which tier served each shard, when this was a tiered (hot-overlay)
+    /// load. `None` for plain cold loads.
+    pub tier: Option<TierBreakdown>,
 }
+
+/// The assembled hot overlay handed to a tiered load: verified full-path
+/// file bytes plus the human-readable reasons anything will read cold.
+pub type TierOverlay = (HashMap<String, Bytes>, Vec<String>);
 
 /// Execute the full load (resharding) workflow on this rank. The state dict
 /// passed in defines the *target* sharding; its tensor values are replaced.
@@ -448,6 +516,39 @@ pub fn load_checkpoint(
     step_hint: u64,
     telemetry: Option<Arc<MetricsHub>>,
 ) -> Result<LoadReport> {
+    load_checkpoint_tiered(
+        ctx, backend, prefix, state, options, io, sink, log, step_hint, telemetry, None,
+    )
+}
+
+/// [`load_checkpoint`] through an optional hot-tier overlay: reads are
+/// served from the verified hot copies first and fall through to the
+/// persistent backend, with the per-shard tier recorded in
+/// [`LoadReport::tier`] and in the `load/tier` telemetry span.
+#[allow(clippy::too_many_arguments)]
+pub fn load_checkpoint_tiered(
+    ctx: &JobContext,
+    backend: DynBackend,
+    prefix: &str,
+    state: &mut TrainState,
+    options: &WorkflowOptions,
+    io: &Arc<IoPool>,
+    sink: &MetricsSink,
+    log: Arc<FailureLog>,
+    step_hint: u64,
+    telemetry: Option<Arc<MetricsHub>>,
+    tier: Option<TierOverlay>,
+) -> Result<LoadReport> {
+    let (tiered, fallbacks) = match tier {
+        Some((map, fb)) => {
+            (Some(Arc::new(TieredReadBackend::new(map, backend.clone()))), fb)
+        }
+        None => (None, Vec::new()),
+    };
+    let backend: DynBackend = match &tiered {
+        Some(t) => t.clone(),
+        None => backend,
+    };
     let rank = ctx.rank();
     let faults = {
         let comm = ctx.comm.clone();
@@ -567,6 +668,22 @@ pub fn load_checkpoint(
         let _t = root.child("sync/load_barrier").attr("collective", ctx.comm.backend_info());
         ctx.comm.barrier()?;
     }
+    // Recovery-tier breakdown: which tier served each shard, recorded both
+    // in the report and as a telemetry span so the persisted artifact (and
+    // `bcpctl report --load`) can show it.
+    let tier = tiered.as_ref().map(|t| {
+        let b = TierBreakdown::from_backend(t, fallbacks);
+        let mut span = root.child("load/tier").uncounted();
+        span.set_attr("hot_files", b.hot_files.to_string());
+        span.set_attr("cold_files", b.cold_files.to_string());
+        span.set_attr("hot_bytes", b.hot_bytes.to_string());
+        span.set_attr("cold_bytes", b.cold_bytes.to_string());
+        span.set_attr("fallbacks", b.fallbacks.len().to_string());
+        if !b.fallbacks.is_empty() {
+            span.set_attr("fallback_reasons", b.fallbacks.join("; "));
+        }
+        b
+    });
     // Close the root span, then persist this load's telemetry next to the
     // checkpoint (best-effort, separate artifact from the save's).
     drop(root);
@@ -585,5 +702,5 @@ pub fn load_checkpoint(
             });
         }
     }
-    Ok(LoadReport { stats, metadata, extra })
+    Ok(LoadReport { stats, metadata, extra, tier })
 }

@@ -1,0 +1,221 @@
+//! Virtual-time chaos driver for the tiered recovery subsystem: a seeded
+//! kill/recover model that classifies each failure as a hot-tier or
+//! cold-tree recovery and quantifies the resulting hot-hit-rate → ETTR gain
+//! (the model behind the `chaos_soak` integration harness, run here at
+//! paper scale where real threads would be too slow).
+//!
+//! Per failure the model draws a failure domain — process crash (host
+//! memory survives), single-host loss (peer replicas survive whenever the
+//! `ReplicaPlacement` covers it) or multi-host loss (hot tier gone) — plus
+//! a detection lag in steps; a recovery is served hot iff a covering copy
+//! exists *and* the newest committed step is still inside the K-step ring.
+
+use crate::ettr::{ettr, ettr_tiered};
+use bcp_topology::ReplicaPlacement;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cluster + tier shape for one chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// RNG seed: same seed, same failure sequence, same outcome.
+    pub seed: u64,
+    /// Number of kill/recover cycles to simulate.
+    pub failures: usize,
+    /// Hosts in the job.
+    pub hosts: usize,
+    /// Ranks per host.
+    pub gpus_per_host: usize,
+    /// Requested hot-tier replicas per shard (R).
+    pub replicas: usize,
+    /// Hot-ring capacity in steps (K).
+    pub hot_capacity_steps: u64,
+    /// Fraction of failures that are a full single-host loss.
+    pub single_host_fraction: f64,
+    /// Fraction of failures that take out more than one host (power event,
+    /// network partition): the hot tier cannot cover these.
+    pub multi_host_fraction: f64,
+    /// Maximum failure-detection lag, in checkpoint steps: a recovery only
+    /// hits the hot ring if the newest committed step is younger than K.
+    pub max_detection_lag_steps: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            seed: 0,
+            failures: 1000,
+            hosts: 16,
+            gpus_per_host: 8,
+            replicas: 1,
+            hot_capacity_steps: 2,
+            single_host_fraction: 0.10,
+            multi_host_fraction: 0.02,
+            max_detection_lag_steps: 1,
+        }
+    }
+}
+
+/// Recovery-time inputs for the ETTR comparison (seconds).
+#[derive(Debug, Clone, Copy)]
+pub struct TierTimes {
+    /// End-to-end checkpoint save time.
+    pub t_save: f64,
+    /// Hot recovery: assemble the step from peer memory.
+    pub t_load_hot: f64,
+    /// Cold recovery: read the persistent tree.
+    pub t_load_cold: f64,
+    /// Checkpoint interval in iterations.
+    pub n: u64,
+    /// Per-iteration training time.
+    pub t_iter: f64,
+}
+
+/// What one chaos run produced.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// Recoveries served from the hot tier.
+    pub hot_recoveries: usize,
+    /// Recoveries that fell through to the persistent tree.
+    pub cold_recoveries: usize,
+    /// `hot / (hot + cold)`.
+    pub hot_hit_rate: f64,
+    /// Baseline ETTR: every recovery from the cold tree.
+    pub ettr_cold: f64,
+    /// ETTR with the measured hot hit rate.
+    pub ettr_tiered: f64,
+}
+
+impl ChaosOutcome {
+    /// Absolute ETTR gain of the hot tier over cold-only recovery.
+    pub fn ettr_gain(&self) -> f64 {
+        self.ettr_tiered - self.ettr_cold
+    }
+}
+
+/// Run the seeded chaos model and price the outcome with the ETTR math.
+pub fn run_chaos(cfg: &ChaosConfig, times: TierTimes) -> ChaosOutcome {
+    let world = cfg.hosts * cfg.gpus_per_host;
+    let placement = ReplicaPlacement::new(world.max(1), cfg.gpus_per_host.max(1), cfg.replicas)
+        .expect("non-zero gpus_per_host");
+    // Placement guarantees single-host coverage whenever it can place at
+    // least one replica on a foreign host.
+    let single_host_covered = placement.effective_replicas() >= 1;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut hot = 0usize;
+    let mut cold = 0usize;
+    for _ in 0..cfg.failures {
+        let domain: f64 = rng.gen();
+        let copy_survives = if domain < cfg.multi_host_fraction {
+            false // correlated multi-host loss: hot tier gone everywhere
+        } else if domain < cfg.multi_host_fraction + cfg.single_host_fraction {
+            single_host_covered
+        } else {
+            true // process crash: host memory survives
+        };
+        let lag = rng.gen_range(0..=cfg.max_detection_lag_steps);
+        let ring_fresh = lag < cfg.hot_capacity_steps;
+        if copy_survives && ring_fresh {
+            hot += 1;
+        } else {
+            cold += 1;
+        }
+    }
+    let total = (hot + cold).max(1);
+    let hot_hit_rate = hot as f64 / total as f64;
+    ChaosOutcome {
+        hot_recoveries: hot,
+        cold_recoveries: cold,
+        hot_hit_rate,
+        ettr_cold: ettr(times.t_save, times.t_load_cold, times.n, times.t_iter),
+        ettr_tiered: ettr_tiered(
+            times.t_save,
+            times.t_load_hot,
+            times.t_load_cold,
+            hot_hit_rate,
+            times.n,
+            times.t_iter,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_times() -> TierTimes {
+        // ByteCheckpoint Table 4 row: T_save 27.47, T_load 11.69; a hot
+        // recovery is a memory copy, modeled well under a second.
+        TierTimes { t_save: 27.47, t_load_hot: 0.5, t_load_cold: 11.69, n: 100, t_iter: 5.5 }
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let cfg = ChaosConfig::default();
+        let a = run_chaos(&cfg, paper_times());
+        let b = run_chaos(&cfg, paper_times());
+        assert_eq!(a.hot_recoveries, b.hot_recoveries);
+        assert_eq!(a.cold_recoveries, b.cold_recoveries);
+    }
+
+    #[test]
+    fn hot_tier_lifts_ettr_when_hits_occur() {
+        let out = run_chaos(&ChaosConfig::default(), paper_times());
+        assert!(out.hot_hit_rate > 0.5, "got {}", out.hot_hit_rate);
+        assert!(out.ettr_gain() > 0.0);
+        assert!(out.ettr_tiered <= 0.5, "ETTR is bounded by the half-interval loss");
+    }
+
+    #[test]
+    fn multi_host_losses_always_fall_cold() {
+        let cfg = ChaosConfig {
+            multi_host_fraction: 1.0,
+            single_host_fraction: 0.0,
+            ..ChaosConfig::default()
+        };
+        let out = run_chaos(&cfg, paper_times());
+        assert_eq!(out.hot_recoveries, 0);
+        assert!((out.ettr_tiered - out.ettr_cold).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_host_world_cannot_place_replicas() {
+        let cfg = ChaosConfig {
+            hosts: 1,
+            single_host_fraction: 1.0,
+            multi_host_fraction: 0.0,
+            ..ChaosConfig::default()
+        };
+        let out = run_chaos(&cfg, paper_times());
+        assert_eq!(out.hot_recoveries, 0, "no foreign host to hold a replica");
+    }
+
+    #[test]
+    fn stale_ring_forces_cold_recoveries() {
+        let cfg = ChaosConfig {
+            hot_capacity_steps: 1,
+            max_detection_lag_steps: 50,
+            single_host_fraction: 0.0,
+            multi_host_fraction: 0.0,
+            ..ChaosConfig::default()
+        };
+        let out = run_chaos(&cfg, paper_times());
+        // Lag is uniform over 0..=50 and only lag 0 hits a K=1 ring.
+        assert!(out.hot_hit_rate < 0.1, "got {}", out.hot_hit_rate);
+        assert!(out.cold_recoveries > 0);
+    }
+
+    #[test]
+    fn deeper_ring_raises_hit_rate() {
+        let base = ChaosConfig {
+            max_detection_lag_steps: 4,
+            single_host_fraction: 0.0,
+            multi_host_fraction: 0.0,
+            ..ChaosConfig::default()
+        };
+        let shallow = run_chaos(&ChaosConfig { hot_capacity_steps: 1, ..base.clone() }, paper_times());
+        let deep = run_chaos(&ChaosConfig { hot_capacity_steps: 8, ..base }, paper_times());
+        assert!(deep.hot_hit_rate > shallow.hot_hit_rate);
+        assert!(deep.ettr_tiered > shallow.ettr_tiered);
+    }
+}

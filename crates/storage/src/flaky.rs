@@ -1,12 +1,15 @@
 //! Failure injection: a backend wrapper that fails a configurable number of
 //! operations, for exercising the engine's upload/download retry machinery
-//! and failure logging (paper Appendix B).
+//! and failure logging (paper Appendix B). Optionally adds seeded per-op
+//! latency jitter so slow-I/O paths (timeouts, stragglers, overlap windows)
+//! are exercised alongside hard errors.
 
 use crate::{DynBackend, Result, StorageBackend, StorageError};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Which operation classes to inject failures into.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +31,10 @@ pub struct FlakyBackend {
     failures_per_path: u32,
     counts: Mutex<HashMap<String, u32>>,
     injected_total: AtomicU64,
+    /// Seeded per-op latency jitter: `(seed, max)` sleeps a deterministic
+    /// pseudo-random duration in `[0, max)` before every data operation.
+    jitter: Option<(u64, Duration)>,
+    op_counter: AtomicU64,
 }
 
 impl FlakyBackend {
@@ -40,7 +47,18 @@ impl FlakyBackend {
             failures_per_path,
             counts: Mutex::new(HashMap::new()),
             injected_total: AtomicU64::new(0),
+            jitter: None,
+            op_counter: AtomicU64::new(0),
         }
+    }
+
+    /// Add seeded latency jitter: every data operation (read, ranged read,
+    /// write, gather-write, append, rename, concat) first sleeps a
+    /// deterministic pseudo-random duration in `[0, max)` derived from
+    /// `seed` and the global op counter. Same seed → same jitter sequence.
+    pub fn with_jitter(mut self, seed: u64, max: Duration) -> FlakyBackend {
+        self.jitter = Some((seed, max));
+        self
     }
 
     /// Total number of failures injected so far.
@@ -48,7 +66,25 @@ impl FlakyBackend {
         self.injected_total.load(Ordering::Relaxed)
     }
 
+    /// Deterministic jitter sleep (splitmix64 over seed ^ op index — the
+    /// same seeded-PRNG idiom as `CorruptingBackend`; `rand` is a
+    /// dev-dependency only).
+    fn jitter_sleep(&self) {
+        let Some((seed, max)) = self.jitter else { return };
+        let max_ns = max.as_nanos() as u64;
+        if max_ns == 0 {
+            return;
+        }
+        let op = self.op_counter.fetch_add(1, Ordering::Relaxed);
+        let mut z = seed ^ op.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        std::thread::sleep(Duration::from_nanos(z % max_ns));
+    }
+
     fn maybe_fail(&self, path: &str, class: FailureMode) -> Result<()> {
+        self.jitter_sleep();
         let applicable = matches!(self.mode, FailureMode::All) || self.mode == class;
         if !applicable {
             return Ok(());
@@ -149,6 +185,29 @@ mod tests {
         let f = FlakyBackend::new(Arc::new(MemoryBackend::new()), FailureMode::Reads, 1);
         f.write("a", Bytes::from_static(b"1")).unwrap();
         assert!(f.read("a").is_err());
+        assert_eq!(&f.read("a").unwrap()[..], b"1");
+    }
+
+    #[test]
+    fn jitter_preserves_semantics_and_slows_ops() {
+        let f = FlakyBackend::new(Arc::new(MemoryBackend::new()), FailureMode::Writes, 0)
+            .with_jitter(42, std::time::Duration::from_micros(200));
+        let start = std::time::Instant::now();
+        for i in 0..32 {
+            f.write(&format!("p{i}"), Bytes::from_static(b"x")).unwrap();
+            assert_eq!(&f.read(&format!("p{i}")).unwrap()[..], b"x");
+        }
+        // 64 jittered ops, each sleeping in [0, 200µs): some latency must
+        // accumulate, but the data path stays correct and failure-free.
+        assert!(start.elapsed() > std::time::Duration::from_micros(200));
+        assert_eq!(f.injected(), 0);
+    }
+
+    #[test]
+    fn zero_jitter_is_a_no_op() {
+        let f = FlakyBackend::new(Arc::new(MemoryBackend::new()), FailureMode::Writes, 0)
+            .with_jitter(7, std::time::Duration::ZERO);
+        f.write("a", Bytes::from_static(b"1")).unwrap();
         assert_eq!(&f.read("a").unwrap()[..], b"1");
     }
 }

@@ -26,6 +26,9 @@
 //! * [`fallback::FallbackBackend`] — graceful degradation: writes fail over
 //!   to a secondary tier after repeated primary failures, with the downgrade
 //!   observable for failure logging and metrics.
+//! * [`hot::HotTier`] / [`hot::TieredReadBackend`] — the in-process hot
+//!   checkpoint tier (bounded ring of the last K steps, peer-replicated)
+//!   and the read-through overlay the recovery ladder loads through.
 //!
 //! Paths are slash-separated keys (`checkpoints/step_100/model_3.bin`).
 //! URIs (`hdfs://...`, `file://...`, `mem://...`) are parsed by [`uri`] and
@@ -36,6 +39,7 @@ pub mod corrupt;
 pub mod disk;
 pub mod fallback;
 pub mod flaky;
+pub mod hot;
 pub mod journal;
 pub mod hdfs;
 pub mod instrument;
@@ -47,6 +51,7 @@ pub use corrupt::{CorruptingBackend, Corruption};
 pub use disk::DiskBackend;
 pub use fallback::{FailoverEvent, FallbackBackend};
 pub use flaky::FlakyBackend;
+pub use hot::{HotTier, TierHit, TieredReadBackend};
 pub use journal::{JournalBackend, JournalOp};
 pub use hdfs::{HdfsBackend, HdfsConfig, NameNodeStats};
 pub use instrument::InstrumentedBackend;

@@ -1,0 +1,133 @@
+//! Failure-domain-aware replica placement for the hot checkpoint tier.
+//!
+//! Every rank keeps its own shard frames in an in-process hot tier and
+//! replicates them onto `R` peer ranks. The failure domain is the host
+//! (ranks grouped [`ClusterLayout::gpus_per_host`] at a time, matching the
+//! tree-collective topology), so the placement rule is:
+//!
+//! * a replica never lands on the source's host, and
+//! * the `R` replicas land on `R` *distinct* other hosts (rotating
+//!   `host + 1 + j` for replica `j`), so losing any single host leaves at
+//!   least one copy alive: the source's own (host survived) or a replica
+//!   (source's host lost, replicas are elsewhere by construction).
+//!
+//! With fewer than `R + 1` hosts the placement degrades gracefully: the
+//! effective replica count is capped at `num_hosts - 1` (zero on a single
+//! host, where no placement can survive the only failure domain).
+
+use crate::{ClusterLayout, Result};
+
+/// The replica placement for one job: a deterministic pure function of
+/// `(world_size, gpus_per_host, replicas)`, so every rank computes the same
+/// targets without coordination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaPlacement {
+    layout: ClusterLayout,
+    replicas: usize,
+}
+
+impl ReplicaPlacement {
+    /// Build a placement; `replicas` is the *requested* count, capped at
+    /// `num_hosts - 1` (see [`ReplicaPlacement::effective_replicas`]).
+    pub fn new(world_size: usize, gpus_per_host: usize, replicas: usize) -> Result<ReplicaPlacement> {
+        Ok(ReplicaPlacement { layout: ClusterLayout::new(world_size, gpus_per_host)?, replicas })
+    }
+
+    /// The cluster layout the placement is computed over.
+    pub fn layout(&self) -> &ClusterLayout {
+        &self.layout
+    }
+
+    /// Replicas actually placed per shard: `min(requested, num_hosts - 1)` —
+    /// there is no way to put more copies on distinct non-source hosts.
+    pub fn effective_replicas(&self) -> usize {
+        self.replicas.min(self.layout.num_hosts().saturating_sub(1))
+    }
+
+    /// Number of ranks on host `h` (the last host may be partially filled).
+    fn host_size(&self, host: usize) -> usize {
+        let base = host * self.layout.gpus_per_host;
+        self.layout.gpus_per_host.min(self.layout.world_size.saturating_sub(base))
+    }
+
+    /// The ranks that hold a hot replica of `source`'s shard frames.
+    /// Replica `j` lands on host `(host(source) + 1 + j) % num_hosts`, at
+    /// the source's local index (mod that host's size) so replica traffic
+    /// spreads across local ranks instead of piling onto each host's rank 0.
+    pub fn targets(&self, source: usize) -> Vec<usize> {
+        let hosts = self.layout.num_hosts();
+        let h = self.layout.host_of(source);
+        let l = self.layout.local_rank(source);
+        (0..self.effective_replicas())
+            .map(|j| {
+                let host = (h + 1 + j) % hosts;
+                host * self.layout.gpus_per_host + l % self.host_size(host)
+            })
+            .collect()
+    }
+
+    /// Inverse map: the sources whose replicas `holder` stores. Used by the
+    /// post-commit exchange so each rank knows exactly which peers will
+    /// `send_async` to it (p2p matching is positional).
+    pub fn sources_for(&self, holder: usize) -> Vec<usize> {
+        (0..self.layout.world_size)
+            .filter(|&s| s != holder && self.targets(s).contains(&holder))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicas_avoid_source_host_and_distinct_hosts() {
+        let p = ReplicaPlacement::new(16, 4, 2).unwrap();
+        for s in 0..16 {
+            let t = p.targets(s);
+            assert_eq!(t.len(), 2);
+            let sh = p.layout().host_of(s);
+            let hosts: Vec<usize> = t.iter().map(|&r| p.layout().host_of(r)).collect();
+            assert!(hosts.iter().all(|&h| h != sh), "source {s} -> {t:?}");
+            assert_ne!(hosts[0], hosts[1], "replica hosts must differ: {t:?}");
+        }
+    }
+
+    #[test]
+    fn single_host_places_nothing() {
+        let p = ReplicaPlacement::new(8, 8, 2).unwrap();
+        assert_eq!(p.effective_replicas(), 0);
+        assert!(p.targets(3).is_empty());
+    }
+
+    #[test]
+    fn replica_count_caps_at_other_hosts() {
+        let p = ReplicaPlacement::new(6, 2, 5).unwrap(); // 3 hosts
+        assert_eq!(p.effective_replicas(), 2);
+    }
+
+    #[test]
+    fn sources_for_is_the_inverse_of_targets() {
+        let p = ReplicaPlacement::new(10, 3, 2).unwrap(); // partial last host
+        for holder in 0..10 {
+            for s in p.sources_for(holder) {
+                assert!(p.targets(s).contains(&holder));
+            }
+        }
+        for s in 0..10 {
+            for t in p.targets(s) {
+                assert!(p.sources_for(t).contains(&s), "source {s} target {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_last_host_targets_stay_in_world() {
+        let p = ReplicaPlacement::new(7, 4, 1).unwrap(); // hosts of 4 + 3
+        for s in 0..7 {
+            for t in p.targets(s) {
+                assert!(t < 7, "source {s} placed replica on nonexistent rank {t}");
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the hot-tier replica placement: across random meshes,
+//! `gpus_per_host` and replica counts, (a) no replica ever shares a host
+//! with its source, (b) replica hosts are pairwise distinct, and (c) every
+//! shard stays recoverable in the hot tier after deleting any one host's
+//! ranks — the surviving copies are the source's own (its host survived) or
+//! at least one peer replica (its host died, replicas live elsewhere).
+
+use bcp_topology::{DeviceMesh, ReplicaPlacement};
+use proptest::prelude::*;
+
+/// Random mesh shapes whose world size drives the placement, mirroring how
+/// jobs derive their world from a parallelism mesh.
+fn mesh_strategy() -> impl Strategy<Value = DeviceMesh> {
+    (1usize..=4, 1usize..=4, 1usize..=4)
+        .prop_map(|(pp, dp, tp)| DeviceMesh::of(&[("pp", pp), ("dp", dp), ("tp", tp)]).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn replicas_never_share_the_source_host(
+        mesh in mesh_strategy(),
+        gpus_per_host in 1usize..=8,
+        replicas in 0usize..=3,
+    ) {
+        let world = mesh.world_size();
+        let p = ReplicaPlacement::new(world, gpus_per_host, replicas).unwrap();
+        let layout = p.layout().clone();
+        for source in 0..world {
+            let targets = p.targets(source);
+            prop_assert_eq!(targets.len(), p.effective_replicas());
+            let mut hosts = Vec::new();
+            for t in targets {
+                prop_assert!(t < world, "replica rank {} outside world {}", t, world);
+                prop_assert_ne!(t, source);
+                prop_assert_ne!(
+                    layout.host_of(t), layout.host_of(source),
+                    "replica {} shares host with source {}", t, source
+                );
+                hosts.push(layout.host_of(t));
+            }
+            hosts.sort_unstable();
+            hosts.dedup();
+            prop_assert_eq!(hosts.len(), p.effective_replicas(), "replica hosts must be distinct");
+        }
+    }
+
+    #[test]
+    fn every_shard_survives_any_single_host_loss(
+        mesh in mesh_strategy(),
+        gpus_per_host in 1usize..=8,
+        replicas in 1usize..=3,
+    ) {
+        let world = mesh.world_size();
+        let p = ReplicaPlacement::new(world, gpus_per_host, replicas).unwrap();
+        let layout = p.layout().clone();
+        // Single-host coverage is only promisable with a second host.
+        prop_assume!(layout.num_hosts() > 1);
+        for lost_host in 0..layout.num_hosts() {
+            for source in 0..world {
+                // Copies: the source's own hot entry plus every replica.
+                let survives = layout.host_of(source) != lost_host
+                    || p.targets(source).iter().any(|&t| layout.host_of(t) != lost_host);
+                prop_assert!(
+                    survives,
+                    "shard of rank {} unrecoverable after losing host {}", source, lost_host
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_inverse_consistent(
+        mesh in mesh_strategy(),
+        gpus_per_host in 1usize..=8,
+        replicas in 0usize..=3,
+    ) {
+        let world = mesh.world_size();
+        let a = ReplicaPlacement::new(world, gpus_per_host, replicas).unwrap();
+        let b = ReplicaPlacement::new(world, gpus_per_host, replicas).unwrap();
+        for source in 0..world {
+            prop_assert_eq!(a.targets(source), b.targets(source));
+        }
+        for holder in 0..world {
+            for s in a.sources_for(holder) {
+                prop_assert!(a.targets(s).contains(&holder));
+            }
+        }
+        for source in 0..world {
+            for t in a.targets(source) {
+                prop_assert!(a.sources_for(t).contains(&source));
+            }
+        }
+    }
+}

@@ -19,6 +19,9 @@ cargo test -p bcp-core --test crash_consistency -q
 echo "==> bcpctl scrub CI exit-code check"
 cargo test --test bcpctl_cli -q scrub
 
+echo "==> chaos-soak smoke (bounded, fixed seed, <60s)"
+cargo test -p bcp-core --test chaos_soak -q smoke_bounded_soak
+
 echo "==> cargo doc --no-deps"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
