@@ -18,9 +18,9 @@ use bcp_core::engine::iopool::IoPool;
 use bcp_core::engine::pool::PinnedPool;
 use bcp_core::integrity::FailureLog;
 use bcp_core::planner::cache::PlanCache;
+use bcp_core::registry::BackendRegistry;
 use bcp_core::workflow::{load_checkpoint, save_checkpoint, JobContext, SaveArgs, SaveTicket};
 use bcp_core::{BcpError, Result};
-use bcp_core::registry::BackendRegistry;
 use bcp_model::states::{StateDict, StateEntry};
 use bcp_model::{Framework, TrainState};
 use bcp_monitor::MetricsSink;
@@ -223,7 +223,7 @@ impl DcpLike {
             0,
             None, // baselines persist no telemetry artifacts
         )?;
-        Ok(LoadOutcome { report, loader: None })
+        Ok(LoadOutcome { report, loader: None, quarantined: Vec::new() })
     }
 }
 
@@ -262,7 +262,13 @@ mod tests {
         let results: Vec<(StateDict, AllGatherStats)> =
             handles.into_iter().map(|h| h.join().unwrap()).collect();
         // Reference: the full model.
-        let full = build_train_state(&arch, Framework::Ddp, Parallelism::data_parallel(1).unwrap(), 0, true);
+        let full = build_train_state(
+            &arch,
+            Framework::Ddp,
+            Parallelism::data_parallel(1).unwrap(),
+            0,
+            true,
+        );
         for (rank, (dict, stats)) in results.iter().enumerate() {
             assert!(stats.allgathers > 0 && stats.comm_bytes > 0 && stats.d2h_copies > 0);
             for e in dict.entries.values() {

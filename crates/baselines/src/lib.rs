@@ -49,9 +49,10 @@ pub fn baseline_workflow_options() -> WorkflowOptions {
             overlap: false,        // serial read → assemble → all-to-all
             retries: RetryPolicy::default(),
         },
-        plan_cache: false,   // replan on every save
-        dedup_reads: false,  // every DP replica reads everything
+        plan_cache: false,  // replan on every save
+        dedup_reads: false, // every DP replica reads everything
         faults: FaultPlan::new(),
         verified_fallback: false, // baselines load whatever is newest
+        hot: bcp_core::HotTierConfig::default(), // no hot tier in baselines
     }
 }

@@ -90,7 +90,7 @@ impl McpLike {
             0,
             None, // baselines persist no telemetry artifacts
         )?;
-        Ok(LoadOutcome { report, loader: None })
+        Ok(LoadOutcome { report, loader: None, quarantined: Vec::new() })
     }
 }
 

@@ -7,13 +7,13 @@
 //! or evaluation job until done, and leaving behind parallelism-coupled
 //! copies that cannot be reused.
 
-use bcp_core::export::consolidate_tensor;
-use bcp_core::metadata::{GlobalMetadata, METADATA_FILE};
-use bcp_core::plan::{build_tensor_map, local_save_plan};
 use bcp_core::engine::iopool::IoPool;
 use bcp_core::engine::pool::PinnedPool;
 use bcp_core::engine::save::{execute_save, SaveConfig};
+use bcp_core::export::consolidate_tensor;
 use bcp_core::integrity::{commit_checkpoint, FailureLog};
+use bcp_core::metadata::{GlobalMetadata, METADATA_FILE};
+use bcp_core::plan::{build_tensor_map, local_save_plan};
 use bcp_core::{BcpError, Result};
 use bcp_model::states::{build_train_state, Framework, TrainState};
 use bcp_model::TransformerConfig;
@@ -93,17 +93,28 @@ pub fn run_offline_reshard_job(
         let plan = local_save_plan(rank, state, "offline-job");
         uploaded += plan.total_bytes();
         let faults = bcp_core::fault::FaultHook::inert(rank);
-        execute_save(&plan, state, backend.clone(), dst_prefix, &pool, &io, &sink, log.clone(), &cfg, meta.step, &faults, SpanContext::none())?
-            .wait()?;
+        execute_save(
+            &plan,
+            state,
+            backend.clone(),
+            dst_prefix,
+            &pool,
+            &io,
+            &sink,
+            log.clone(),
+            &cfg,
+            meta.step,
+            &faults,
+            SpanContext::none(),
+        )?
+        .wait()?;
         plans.push(plan);
     }
     let mut new_meta =
         GlobalMetadata::new(target_fw.name(), meta.step, &target_par.describe(), world);
     new_meta.tensor_map = build_tensor_map(&plans);
-    backend.write(
-        &format!("{dst_prefix}/{METADATA_FILE}"),
-        bytes::Bytes::from(new_meta.to_bytes()),
-    )?;
+    backend
+        .write(&format!("{dst_prefix}/{METADATA_FILE}"), bytes::Bytes::from(new_meta.to_bytes()))?;
     commit_checkpoint(backend, dst_prefix)?;
     let upload_time = t1.elapsed();
     Ok(OfflineJobReport { downloaded, uploaded, reshard_time, upload_time, target_ranks: world })
@@ -153,10 +164,23 @@ mod tests {
             TrainerConfig::default().run(&mut state, 0, steps);
             let plan = lsp(rank, &state, "cpu");
             let faults = bcp_core::fault::FaultHook::inert(rank);
-            execute_save(&plan, &state, backend.clone(), prefix, &pool, &io, &sink, log.clone(), &cfg, steps, &faults, SpanContext::none())
-                .unwrap()
-                .wait()
-                .unwrap();
+            execute_save(
+                &plan,
+                &state,
+                backend.clone(),
+                prefix,
+                &pool,
+                &io,
+                &sink,
+                log.clone(),
+                &cfg,
+                steps,
+                &faults,
+                SpanContext::none(),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
             plans.push(plan);
         }
         let mut meta = GlobalMetadata::new(fw.name(), steps, &par.describe(), par.world_size());
@@ -204,7 +228,8 @@ mod tests {
         }
         // And the duplication cost the paper criticizes: the storage now
         // holds two copies of the logical state.
-        let src_meta = GlobalMetadata::from_bytes(&backend.read("src/global_metadata.json").unwrap()).unwrap();
+        let src_meta =
+            GlobalMetadata::from_bytes(&backend.read("src/global_metadata.json").unwrap()).unwrap();
         assert!(meta.total_tensor_bytes() > 0);
         assert!(src_meta.total_tensor_bytes() > 0);
     }

@@ -39,10 +39,9 @@ fn bench_gather(c: &mut Criterion) {
 fn bench_barrier(c: &mut Criterion) {
     let mut g = c.benchmark_group("barrier_32");
     g.sample_size(10);
-    for (name, backend) in [
-        ("flat", Backend::Flat),
-        ("tree", Backend::Tree { gpus_per_host: 8, branching: 4 }),
-    ] {
+    for (name, backend) in
+        [("flat", Backend::Flat), ("tree", Backend::Tree { gpus_per_host: 8, branching: 4 })]
+    {
         g.bench_function(name, |b| {
             b.iter(|| {
                 let world = CommWorld::new(32, backend);

@@ -2,8 +2,8 @@
 //! vs first-replica deduplication, redundant-read elimination, and the
 //! cache signature whose cheapness makes plan caching a win.
 
-use bcp_core::plan::{local_load_plan, local_save_plan, SavePlan};
 use bcp_core::metadata::GlobalMetadata;
+use bcp_core::plan::{local_load_plan, local_save_plan, SavePlan};
 use bcp_core::planner::balance::{dedup_save_plans, eliminate_redundant_reads, DedupStrategy};
 use bcp_core::planner::cache::PlanCache;
 use bcp_model::states::{build_train_state, Framework};
@@ -15,7 +15,9 @@ fn megatron_plans(world_tp: usize, dp: usize, pp: usize) -> Vec<SavePlan> {
     let par = Parallelism::new(world_tp, dp, pp).unwrap();
     let fw = Framework::Megatron { distributed_optimizer: true };
     (0..par.world_size())
-        .map(|r| local_save_plan(r, &build_train_state(&zoo::tiny_gpt_8l(), fw, par, r, false), "cpu"))
+        .map(|r| {
+            local_save_plan(r, &build_train_state(&zoo::tiny_gpt_8l(), fw, par, r, false), "cpu")
+        })
         .collect()
 }
 

@@ -1,0 +1,205 @@
+//! Control-plane benchmark: N concurrent simulated training jobs driving
+//! real checkpoint saves through one `CoordinatorService`, contending for
+//! one shared storage-bandwidth envelope. Emits `BENCH_coordinator.json`.
+//!
+//! Three phases:
+//!
+//! 1. **solo** — one job with the envelope to itself: the per-step commit
+//!    latency floor.
+//! 2. **contention** — N identical equal-weight jobs at once. Gates: zero
+//!    starved jobs (every job commits every step) and a completion-time
+//!    fairness ratio ≤ 3× (identical jobs must drain together, not
+//!    serialize behind one another).
+//! 3. **admission wave** — a burst of registrations against an N-slot
+//!    policy: typed Admitted / Backpressure / Rejected counts.
+//!
+//! Usage: `bench_coordinator [--jobs N] [--smoke] [--out PATH]`
+
+use bcp_coordinator::{
+    run_sim_job, AdmissionOutcome, AdmissionPolicy, CoordinatorService, Request, Response,
+    SchedulerConfig, SimJobReport,
+};
+use bcp_core::spec::JobSpec;
+use bcp_model::zoo;
+use std::sync::Arc;
+use std::time::Instant;
+
+const FAIRNESS_GATE: f64 = 3.0;
+
+/// Nearest-rank percentile over raw samples.
+fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().clamp(1.0, sorted.len() as f64);
+    sorted[rank as usize - 1]
+}
+
+fn latency_json(samples: &[f64]) -> serde_json::Value {
+    serde_json::json!({
+        "count": samples.len(),
+        "p50_ms": percentile(samples, 50.0),
+        "p90_ms": percentile(samples, 90.0),
+        "p99_ms": percentile(samples, 99.0),
+        "max_ms": samples.iter().cloned().fold(0.0f64, f64::max),
+    })
+}
+
+fn register(service: &Arc<CoordinatorService>, spec: &JobSpec) {
+    let Response::Admission { outcome } = service.handle(Request::Register { spec: spec.clone() })
+    else {
+        panic!("want Admission")
+    };
+    assert!(outcome.is_admitted(), "benchmark job refused: {outcome:?}");
+}
+
+fn service_for(jobs: usize) -> Arc<CoordinatorService> {
+    // Scale the envelope with the fleet so total runtime stays bounded
+    // while each job still contends (the envelope grows slower than the
+    // aggregate demand would like).
+    CoordinatorService::new(
+        AdmissionPolicy { max_jobs: jobs.max(1), ..AdmissionPolicy::default() },
+        SchedulerConfig {
+            rate_bps: (8 + 2 * jobs as u64) * 1024 * 1024,
+            burst_bytes: 256 * 1024,
+            chunk_bytes: 64 * 1024,
+        },
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let jobs: usize = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--jobs takes a number"))
+        .unwrap_or(if smoke { 4 } else { 8 });
+    assert!((1..=64).contains(&jobs), "--jobs must be in 1..=64");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_coordinator.json".to_string());
+    let steps: u64 = if smoke { 2 } else { 4 };
+    let model = zoo::tiny_gpt();
+
+    // ---- Phase 1: solo baseline. ----
+    let service = service_for(1);
+    let solo_spec = JobSpec::new("solo", "mem://jobs/solo");
+    register(&service, &solo_spec);
+    let solo = run_sim_job(&service, &solo_spec, &model, steps).expect("solo job");
+
+    // ---- Phase 2: N-job contention. ----
+    let service = service_for(jobs);
+    let specs: Vec<JobSpec> = (0..jobs)
+        .map(|i| JobSpec::new(format!("job-{i}"), format!("mem://jobs/job-{i}")))
+        .collect();
+    for spec in &specs {
+        register(&service, spec);
+    }
+    let t0 = Instant::now();
+    let handles: Vec<_> = specs
+        .iter()
+        .map(|spec| {
+            let service = service.clone();
+            let spec = spec.clone();
+            std::thread::spawn(move || {
+                let begin = Instant::now();
+                let report =
+                    run_sim_job(&service, &spec, &zoo::tiny_gpt(), steps).expect("contention job");
+                (report, begin.elapsed().as_secs_f64())
+            })
+        })
+        .collect();
+    let contention: Vec<(SimJobReport, f64)> =
+        handles.into_iter().map(|h| h.join().expect("job thread")).collect();
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let starved: Vec<&str> = contention
+        .iter()
+        .filter(|(r, _)| r.steps != steps || r.commit_ms.len() != steps as usize)
+        .map(|(r, _)| r.job_id.as_str())
+        .collect();
+    let times: Vec<f64> = contention.iter().map(|(_, t)| *t).collect();
+    let fairness_ratio = times.iter().cloned().fold(f64::MIN, f64::max)
+        / times.iter().cloned().fold(f64::MAX, f64::min);
+
+    // ---- Phase 3: admission wave against the contention service. ----
+    // The N slots are occupied; a second wave must get typed backpressure,
+    // and malformed specs typed rejection.
+    let mut admitted = 0u32;
+    let mut backpressured = 0u32;
+    let mut rejected = 0u32;
+    for i in 0..jobs + 2 {
+        let spec = if i < jobs {
+            JobSpec::new(format!("wave-{i}"), format!("mem://jobs/wave-{i}"))
+        } else {
+            JobSpec::new("bad id", "mem://jobs/bad") // whitespace: permanently invalid
+        };
+        let Response::Admission { outcome } = service.handle(Request::Register { spec }) else {
+            panic!("want Admission")
+        };
+        match outcome {
+            AdmissionOutcome::Admitted { .. } => admitted += 1,
+            AdmissionOutcome::Backpressure { .. } => backpressured += 1,
+            AdmissionOutcome::Rejected { .. } => rejected += 1,
+        }
+    }
+
+    let per_job: Vec<serde_json::Value> = contention
+        .iter()
+        .map(|(r, t)| {
+            serde_json::json!({
+                "job_id": r.job_id,
+                "steps": r.steps,
+                "bytes": r.bytes,
+                "completion_s": t,
+                "commit_latency": latency_json(&r.commit_ms),
+            })
+        })
+        .collect();
+    let report = serde_json::json!({
+        "scenario": {
+            "jobs": jobs,
+            "steps_per_job": steps,
+            "model": "tiny-GPT",
+            "rate_bps": service.scheduler().config().rate_bps,
+            "smoke": smoke,
+        },
+        "solo": {
+            "bytes": solo.bytes,
+            "commit_latency": latency_json(&solo.commit_ms),
+        },
+        "contention": {
+            "wall_s": wall_s,
+            "fairness_ratio": fairness_ratio,
+            "fairness_gate": FAIRNESS_GATE,
+            "starved_jobs": starved,
+            "per_job": per_job,
+        },
+        "admission_wave": {
+            "offered": jobs + 2,
+            "admitted": admitted,
+            "backpressured": backpressured,
+            "rejected": rejected,
+        },
+    });
+    let rendered = serde_json::to_string_pretty(&report).expect("serializable report");
+    std::fs::write(&out, &rendered).expect("write report");
+    println!("{rendered}");
+    println!("wrote {out}");
+
+    // ---- Gates (exit nonzero on violation). ----
+    assert!(starved.is_empty(), "starved jobs under contention: {starved:?}");
+    assert!(
+        fairness_ratio <= FAIRNESS_GATE,
+        "fairness ratio {fairness_ratio:.2} exceeds the {FAIRNESS_GATE}x gate"
+    );
+    assert_eq!(admitted, 0, "a full control plane admits nothing");
+    assert_eq!(backpressured, jobs as u32, "every over-capacity spec gets backpressure");
+    assert_eq!(rejected, 2, "malformed specs get typed rejection");
+}

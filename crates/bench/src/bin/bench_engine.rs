@@ -81,11 +81,7 @@ fn run_save(state: &TrainState, cfg: &SaveConfig, pool: &Arc<PinnedPool>) -> Sav
 
 /// One full load pipeline run (no peer forwarding: single rank) against a
 /// prepared checkpoint.
-fn run_load(
-    backend: &DynBackend,
-    meta: &GlobalMetadata,
-    cfg: &LoadConfig,
-) -> (Duration, usize) {
+fn run_load(backend: &DynBackend, meta: &GlobalMetadata, cfg: &LoadConfig) -> (Duration, usize) {
     let mut target = fresh_state();
     let local = local_load_plan(0, &target, meta).expect("load plan");
     let items = local.items.len();

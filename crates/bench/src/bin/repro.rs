@@ -38,16 +38,25 @@ fn main() {
             "table9" => print_table(experiments::table9(&m)),
             "fig11" => {
                 let (f11, _) = fig11_12.get_or_insert_with(figures::fig11_fig12).clone();
-                print_section("Figure 11: end-to-end saving-time heat map (real 32-rank run)", &f11);
+                print_section(
+                    "Figure 11: end-to-end saving-time heat map (real 32-rank run)",
+                    &f11,
+                );
             }
             "fig12" => {
                 let (_, f12) = fig11_12.get_or_insert_with(figures::fig11_fig12).clone();
                 print_section("Figure 12: rank-0 saving-phase breakdown (real run)", &f12);
             }
             "fig13" => print_section("Figure 13: PP/TP resharding correctness", &figures::fig13()),
-            "fig14" => print_section("Figure 14: bitwise resumption across restarts", &figures::fig14()),
-            "fig16" => print_section("Figure 16: DP/hybrid resharding correctness", &figures::fig16()),
-            "fig17" => print_section("Figure 17: dataloader sampling trajectory", &figures::fig17()),
+            "fig14" => {
+                print_section("Figure 14: bitwise resumption across restarts", &figures::fig14())
+            }
+            "fig16" => {
+                print_section("Figure 16: DP/hybrid resharding correctness", &figures::fig16())
+            }
+            "fig17" => {
+                print_section("Figure 17: dataloader sampling trajectory", &figures::fig17())
+            }
             other => eprintln!("unknown artifact {other:?} (use table1..table9, fig11..fig17)"),
         }
     }

@@ -13,7 +13,7 @@ use bcp_dataloader::{DataSource, Dataloader, LoaderReplicatedState};
 use bcp_model::states::{build_train_state, Framework};
 use bcp_model::{zoo, ExtraState, TrainState, TrainerConfig};
 use bcp_monitor::{heatmap, MetricsHub};
-use bcp_storage::{MemoryBackend, Throttled, ThrottleProfile};
+use bcp_storage::{MemoryBackend, ThrottleProfile, Throttled};
 use bcp_topology::Parallelism;
 use std::sync::Arc;
 use std::time::Duration;
@@ -31,9 +31,7 @@ fn reference_state(
 }
 
 fn verify_bitwise(got: &TrainState, want: &TrainState, rank: usize) {
-    for (got_d, want_d) in
-        [(&got.model, &want.model), (&got.optimizer, &want.optimizer)]
-    {
+    for (got_d, want_d) in [(&got.model, &want.model), (&got.optimizer, &want.optimizer)] {
         for (fqn, w) in &want_d.entries {
             let g = got_d.get(fqn).unwrap_or_else(|| panic!("rank {rank}: missing {fqn}"));
             assert!(g.tensor.bitwise_eq(&w.tensor), "rank {rank}: {fqn} differs after reshard");
@@ -89,15 +87,11 @@ pub fn fig11_fig12() -> (String, String) {
             None
         };
         let extra = ExtraState::new(1000 + rank as u64);
-        let mut req =
-            SaveRequest::new("hdfs://sim/fig11/step_100", &state, 100).with_extra(&extra);
+        let mut req = SaveRequest::new("hdfs://sim/fig11/step_100", &state, 100).with_extra(&extra);
         if let Some((r, s)) = loader.as_ref() {
             req = req.with_loader(r, s);
         }
-        ckpt.save(&req)
-            .expect("save")
-        .wait()
-        .expect("save tail");
+        ckpt.save(&req).expect("save").wait().expect("save tail");
     });
     let by_rank = hub.total_by_rank("save/");
     let spec = heatmap::HeatmapSpec {
@@ -143,8 +137,8 @@ pub fn reshard_loss_curve(
             let state = reference_state(&arch2, fw_a, par_a, rank, switch_step);
             ckpt.save(&SaveRequest::new("mem://fig/reshard", &state, switch_step))
                 .expect("save")
-            .wait()
-            .expect("tail");
+                .wait()
+                .expect("tail");
         },
     );
     // Phase B: load under the new parallelism, verify, continue training.

@@ -202,9 +202,7 @@ impl Communicator {
     {
         let sub = group_key(members) ^ self.group.rotate_left(17);
         let key = SlotKey { group: sub, seq: self.world.rdv.next_seq(sub, self.rank) };
-        self.world
-            .rdv
-            .exchange(op, key, members, self.rank, input, self.world.timeout, f)
+        self.world.rdv.exchange(op, key, members, self.rank, input, self.world.timeout, f)
     }
 
     // ------------------------------------------------------------------
@@ -217,10 +215,12 @@ impl Communicator {
     pub fn gather<T: Send + 'static>(&self, root: usize, value: T) -> Result<Option<Vec<T>>> {
         match (&self.tree, self.members.iter().position(|&r| r == root)) {
             (Some(tree), Some(root_idx)) if tree.root() == root_idx => {
-                self.tree_gather(tree.clone(), value).map(|o| o.map(|mut v| {
-                    v.sort_by_key(|(idx, _)| *idx);
-                    v.into_iter().map(|(_, t)| t).collect()
-                }))
+                self.tree_gather(tree.clone(), value).map(|o| {
+                    o.map(|mut v| {
+                        v.sort_by_key(|(idx, _)| *idx);
+                        v.into_iter().map(|(_, t)| t).collect()
+                    })
+                })
             }
             _ => self.flat_gather(root, value),
         }
@@ -339,9 +339,7 @@ impl Communicator {
                         v.len()
                     )))
                 }
-                None => {
-                    return Err(CollectiveError::BadInput("root must provide values".into()))
-                }
+                None => return Err(CollectiveError::BadInput("root must provide values".into())),
             }
         }
         match (&self.tree, self.members.iter().position(|&r| r == root)) {
@@ -368,10 +366,7 @@ impl Communicator {
             values,
             self.world.timeout,
             move |mut inputs: BTreeMap<usize, Option<Vec<T>>>| {
-                let vals = inputs
-                    .remove(&root)
-                    .flatten()
-                    .expect("validated: root provided values");
+                let vals = inputs.remove(&root).flatten().expect("validated: root provided values");
                 members_for_f.iter().copied().zip(vals).collect()
             },
         )
@@ -548,9 +543,7 @@ impl Communicator {
         }
         let chan = self.p2p_channel(from, self.rank);
         let seq = self.world.rdv.next_seq(chan, self.rank);
-        self.world
-            .rdv
-            .take("recv", SlotKey { group: chan, seq }, from, self.world.timeout)
+        self.world.rdv.take("recv", SlotKey { group: chan, seq }, from, self.world.timeout)
     }
 
     // ------------------------------------------------------------------
@@ -672,11 +665,8 @@ fn route_bundle<T>(
     let mut out: BTreeMap<usize, Vec<(usize, T)>> = BTreeMap::new();
     out.insert(holder_rank, Vec::new());
     // Precompute child subtree membership.
-    let child_subtrees: Vec<(usize, Vec<usize>)> = tree
-        .children(holder_idx)
-        .iter()
-        .map(|&c| (c, tree.subtree_members(c)))
-        .collect();
+    let child_subtrees: Vec<(usize, Vec<usize>)> =
+        tree.children(holder_idx).iter().map(|&c| (c, tree.subtree_members(c))).collect();
     for (c, _) in &child_subtrees {
         out.insert(members[*c], Vec::new());
     }
@@ -738,11 +728,8 @@ mod tests {
     fn scatter_routes_by_rank() {
         for backend in backends() {
             let results = run_world(8, backend, |c| {
-                let vals = if c.rank() == 0 {
-                    Some((0..8).map(|i| i * 100).collect())
-                } else {
-                    None
-                };
+                let vals =
+                    if c.rank() == 0 { Some((0..8).map(|i| i * 100).collect()) } else { None };
                 c.scatter(0, vals).unwrap()
             });
             assert_eq!(results, (0..8).map(|i| i * 100).collect::<Vec<_>>(), "{backend:?}");
@@ -852,7 +839,7 @@ mod tests {
         let tree_conns = tree.stats().snapshot().connections;
         assert_eq!(flat_conns, 15);
         assert_eq!(tree_conns, 15); // a tree has n-1 edges
-        // The structural difference is fan-in, visible on the topology.
+                                    // The structural difference is fan-in, visible on the topology.
         let t = TreeTopology::build(16, 4, 2);
         assert!(t.max_fanin() < 15);
     }
@@ -923,8 +910,7 @@ mod tests {
 
     #[test]
     fn p2p_recv_times_out_without_sender() {
-        let world =
-            CommWorld::with_timeout(2, Backend::Flat, Duration::from_millis(50));
+        let world = CommWorld::with_timeout(2, Backend::Flat, Duration::from_millis(50));
         let c = world.communicator(1).unwrap();
         let err = c.recv::<u32>(0).unwrap_err();
         assert!(matches!(err, CollectiveError::Timeout { op: "recv", .. }));
@@ -941,11 +927,9 @@ mod tests {
     #[test]
     fn large_tree_world_gather() {
         // 32 ranks, deeper tree; checks multi-level up-propagation.
-        let results = run_world(
-            32,
-            Backend::Tree { gpus_per_host: 8, branching: 2 },
-            |c| c.gather(0, c.rank() as u64).unwrap(),
-        );
+        let results = run_world(32, Backend::Tree { gpus_per_host: 8, branching: 2 }, |c| {
+            c.gather(0, c.rank() as u64).unwrap()
+        });
         assert_eq!(results[0], Some((0..32u64).collect::<Vec<_>>()));
     }
 }

@@ -176,12 +176,8 @@ impl Rendezvous {
                     .map(|(r, b)| (r, *b.downcast::<I>().expect("uniform collective input type")))
                     .collect();
                 let outputs = f(typed);
-                slot.outputs = Some(
-                    outputs
-                        .into_iter()
-                        .map(|(r, o)| (r, Box::new(o) as AnyBox))
-                        .collect(),
-                );
+                slot.outputs =
+                    Some(outputs.into_iter().map(|(r, o)| (r, Box::new(o) as AnyBox)).collect());
                 self.cond.notify_all();
             }
         }
@@ -205,9 +201,8 @@ impl Rendezvous {
                 // Check failure injection: if any expected member is failed
                 // and has not deposited, abort.
                 let failed = self.failed.lock();
-                if let Some(&dead) = failed
-                    .iter()
-                    .find(|r| members.contains(r) && !slot.deposits.contains_key(r))
+                if let Some(&dead) =
+                    failed.iter().find(|r| members.contains(r) && !slot.deposits.contains_key(r))
                 {
                     // Remove our deposit so a retry does not double-count.
                     slot.deposits.remove(&rank);

@@ -63,10 +63,7 @@ impl TreeTopology {
 
     /// The root (coordinator) rank.
     pub fn root(&self) -> usize {
-        self.parent
-            .iter()
-            .position(|p| p.is_none())
-            .expect("a tree always has a root")
+        self.parent.iter().position(|p| p.is_none()).expect("a tree always has a root")
     }
 
     /// Parent of `rank`, `None` for the root.

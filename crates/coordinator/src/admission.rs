@@ -1,0 +1,159 @@
+//! Admission control: whether a registering job may enter the control
+//! plane, with typed backpressure instead of silent queueing.
+
+use bcp_core::spec::JobSpec;
+use serde::{Deserialize, Serialize};
+
+/// The typed result of asking the coordinator to register a job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AdmissionOutcome {
+    /// The job is registered; checkpoint traffic may start.
+    Admitted {
+        /// The job id as registered (echoed for correlation).
+        job_id: String,
+        /// The fair-share weight the scheduler granted.
+        weight: u64,
+    },
+    /// The control plane is at capacity *right now*; retry after the
+    /// given delay. Registration was not recorded.
+    Backpressure {
+        /// Suggested client-side retry delay.
+        retry_after_ms: u64,
+        /// Which limit pushed back.
+        reason: String,
+    },
+    /// The spec can never be admitted as submitted (validation or quota
+    /// violation). Fix the spec; retrying unchanged is pointless.
+    Rejected {
+        /// What is wrong with the spec.
+        reason: String,
+    },
+}
+
+impl AdmissionOutcome {
+    /// Whether the job was admitted.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, AdmissionOutcome::Admitted { .. })
+    }
+}
+
+/// Capacity limits the coordinator enforces at registration time.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionPolicy {
+    /// Maximum concurrently registered jobs.
+    pub max_jobs: usize,
+    /// Aggregate declared per-step footprint across all registered jobs,
+    /// in bytes; `0` = unlimited.
+    pub max_total_step_bytes: u64,
+    /// Retry delay suggested with backpressure responses.
+    pub retry_after_ms: u64,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> AdmissionPolicy {
+        AdmissionPolicy { max_jobs: 64, max_total_step_bytes: 0, retry_after_ms: 250 }
+    }
+}
+
+impl AdmissionPolicy {
+    /// Decide admission for `spec` given the current registry load.
+    /// `active_jobs`/`active_step_bytes` must not include `spec` itself
+    /// (re-registrations subtract the old entry first).
+    pub fn decide(
+        &self,
+        spec: &JobSpec,
+        active_jobs: usize,
+        active_step_bytes: u64,
+    ) -> AdmissionOutcome {
+        if let Err(e) = spec.validate() {
+            return AdmissionOutcome::Rejected { reason: e.to_string() };
+        }
+        if spec.quota.max_step_bytes > 0 && spec.step_bytes > spec.quota.max_step_bytes {
+            return AdmissionOutcome::Rejected {
+                reason: format!(
+                    "declared step_bytes {} exceeds the job's own quota {}",
+                    spec.step_bytes, spec.quota.max_step_bytes
+                ),
+            };
+        }
+        if active_jobs >= self.max_jobs {
+            return AdmissionOutcome::Backpressure {
+                retry_after_ms: self.retry_after_ms,
+                reason: format!(
+                    "at capacity: {} of {} job slots in use",
+                    active_jobs, self.max_jobs
+                ),
+            };
+        }
+        if self.max_total_step_bytes > 0
+            && active_step_bytes.saturating_add(spec.step_bytes) > self.max_total_step_bytes
+        {
+            return AdmissionOutcome::Backpressure {
+                retry_after_ms: self.retry_after_ms,
+                reason: format!(
+                    "aggregate step bytes {} + {} would exceed {}",
+                    active_step_bytes, spec.step_bytes, self.max_total_step_bytes
+                ),
+            };
+        }
+        AdmissionOutcome::Admitted {
+            job_id: spec.job_id.clone(),
+            weight: spec.quota.weight.max(1) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcp_core::spec::JobQuota;
+
+    fn spec(id: &str, step_bytes: u64) -> JobSpec {
+        JobSpec::new(id, format!("mem://jobs/{id}")).step_bytes(step_bytes)
+    }
+
+    #[test]
+    fn admits_within_capacity() {
+        let p = AdmissionPolicy::default();
+        let out = p.decide(&spec("a", 1024), 0, 0);
+        assert_eq!(out, AdmissionOutcome::Admitted { job_id: "a".into(), weight: 1 });
+    }
+
+    #[test]
+    fn backpressure_at_job_capacity() {
+        let p = AdmissionPolicy { max_jobs: 2, ..AdmissionPolicy::default() };
+        assert!(matches!(
+            p.decide(&spec("c", 0), 2, 0),
+            AdmissionOutcome::Backpressure { retry_after_ms: 250, .. }
+        ));
+    }
+
+    #[test]
+    fn backpressure_on_aggregate_footprint() {
+        let p = AdmissionPolicy { max_total_step_bytes: 1000, ..AdmissionPolicy::default() };
+        assert!(p.decide(&spec("a", 600), 0, 0).is_admitted());
+        assert!(matches!(p.decide(&spec("b", 600), 1, 600), AdmissionOutcome::Backpressure { .. }));
+    }
+
+    #[test]
+    fn rejects_invalid_specs_permanently() {
+        let p = AdmissionPolicy::default();
+        assert!(matches!(p.decide(&spec("", 0), 0, 0), AdmissionOutcome::Rejected { .. }));
+        let mut s = spec("big", 10);
+        s.quota = JobQuota { max_step_bytes: 5, ..JobQuota::default() };
+        assert!(matches!(p.decide(&s, 0, 0), AdmissionOutcome::Rejected { .. }));
+    }
+
+    #[test]
+    fn admission_outcome_serde_round_trip() {
+        for out in [
+            AdmissionOutcome::Admitted { job_id: "j".into(), weight: 2 },
+            AdmissionOutcome::Backpressure { retry_after_ms: 250, reason: "full".into() },
+            AdmissionOutcome::Rejected { reason: "bad".into() },
+        ] {
+            let json = serde_json::to_string(&out).unwrap();
+            let back: AdmissionOutcome = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, out);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Typed TCP client for the coordinator wire protocol.
+
+use crate::admission::AdmissionOutcome;
+use crate::registry::JobSummary;
+use crate::wire::{read_line, write_line, Request, Response};
+use bcp_core::spec::JobSpec;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a running coordinator.
+pub struct CoordinatorClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+fn proto_err(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+impl CoordinatorClient {
+    /// Connect to a coordinator at `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<CoordinatorClient> {
+        let stream = TcpStream::connect(addr)?;
+        let write_half = stream.try_clone()?;
+        Ok(CoordinatorClient { reader: BufReader::new(stream), writer: BufWriter::new(write_half) })
+    }
+
+    /// One raw request/response exchange.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        write_line(&mut self.writer, req)?;
+        read_line(&mut self.reader)?
+            .ok_or_else(|| proto_err("coordinator closed the connection".into()))
+    }
+
+    /// Register (or re-register) `spec`; the typed admission decision.
+    pub fn register(&mut self, spec: JobSpec) -> io::Result<AdmissionOutcome> {
+        match self.request(&Request::Register { spec })? {
+            Response::Admission { outcome } => Ok(outcome),
+            other => Err(proto_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Remove `job_id` from the control plane.
+    pub fn deregister(&mut self, job_id: &str) -> io::Result<()> {
+        match self.request(&Request::Deregister { job_id: job_id.into() })? {
+            Response::Ok => Ok(()),
+            Response::Error { message } => Err(proto_err(message)),
+            other => Err(proto_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Report one committed step.
+    pub fn report_commit(
+        &mut self,
+        job_id: &str,
+        step: u64,
+        bytes: u64,
+        wall_ms: u64,
+    ) -> io::Result<()> {
+        match self.request(&Request::ReportCommit {
+            job_id: job_id.into(),
+            step,
+            bytes,
+            wall_ms,
+        })? {
+            Response::Ok => Ok(()),
+            Response::Error { message } => Err(proto_err(message)),
+            other => Err(proto_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// All registered jobs, sorted by id.
+    pub fn jobs(&mut self) -> io::Result<Vec<JobSummary>> {
+        match self.request(&Request::Jobs)? {
+            Response::Jobs { jobs } => Ok(jobs),
+            other => Err(proto_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// One job's status.
+    pub fn status(&mut self, job_id: &str) -> io::Result<JobSummary> {
+        match self.request(&Request::Status { job_id: job_id.into() })? {
+            Response::Status { job } => Ok(job),
+            Response::Error { message } => Err(proto_err(message)),
+            other => Err(proto_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.request(&Request::Ping)? {
+            Response::Ok => Ok(()),
+            other => Err(proto_err(format!("unexpected response {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::CoordinatorServer;
+    use crate::service::CoordinatorService;
+
+    #[test]
+    fn typed_round_trip_over_tcp() {
+        let server =
+            CoordinatorServer::bind("127.0.0.1:0", CoordinatorService::with_defaults()).unwrap();
+        let mut c = CoordinatorClient::connect(server.local_addr()).unwrap();
+
+        c.ping().unwrap();
+        assert!(c
+            .register(JobSpec::new("wt", "mem://jobs/wt").step_bytes(64))
+            .unwrap()
+            .is_admitted());
+        c.report_commit("wt", 5, 64, 2).unwrap();
+        let job = c.status("wt").unwrap();
+        assert_eq!(job.commits, 1);
+        assert_eq!(c.jobs().unwrap().len(), 1);
+        c.deregister("wt").unwrap();
+        assert!(c.status("wt").is_err(), "deregistered job is gone");
+
+        server.shutdown();
+    }
+}

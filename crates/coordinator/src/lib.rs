@@ -1,0 +1,42 @@
+//! # bcp-coordinator — the checkpoint control plane
+//!
+//! A long-running service arbitrating checkpoint traffic across many
+//! concurrent training jobs sharing one storage domain, after
+//! ByteCheckpoint's production deployment (NSDI '25 §3): checkpointing is
+//! a *fleet* workload, and the storage bottleneck is shared.
+//!
+//! Pieces, composable without the daemon:
+//!
+//! * [`JobRegistry`] — which jobs exist, their [`bcp_core::spec::JobSpec`]s,
+//!   and per-job commit telemetry ([`registry::JobSummary`]).
+//! * [`AdmissionPolicy`] → [`AdmissionOutcome`] — typed admit / backpressure
+//!   / reject decisions instead of silent queueing.
+//! * [`FairShareScheduler`] — a global token bucket paced by a weighted
+//!   start-time fair queue; implements [`bcp_storage::BandwidthGovernor`],
+//!   so any job's backend is governed by wrapping it in
+//!   [`bcp_storage::GovernedBackend`].
+//! * [`CoordinatorService`] — the three above behind one
+//!   `handle(Request) -> Response` entry point.
+//! * [`CoordinatorServer`] / [`CoordinatorClient`] — JSON-lines-over-TCP
+//!   front end (`bcpctl serve` / `bcpctl jobs` / `bcpctl status`).
+//! * [`simjob::run_sim_job`] — full multi-rank [`bcp_core::spec::Session`]
+//!   jobs driven through the governed path, for contention tests and
+//!   `bench_coordinator`.
+
+pub mod admission;
+pub mod client;
+pub mod registry;
+pub mod scheduler;
+pub mod server;
+pub mod service;
+pub mod simjob;
+pub mod wire;
+
+pub use admission::{AdmissionOutcome, AdmissionPolicy};
+pub use client::CoordinatorClient;
+pub use registry::{JobRegistry, JobSummary};
+pub use scheduler::{FairShareScheduler, SchedulerConfig};
+pub use server::CoordinatorServer;
+pub use service::CoordinatorService;
+pub use simjob::{run_sim_job, SimJobReport};
+pub use wire::{Request, Response};

@@ -1,0 +1,226 @@
+//! The job registry: which jobs the control plane currently serves, and
+//! what their checkpoint traffic has looked like.
+
+use bcp_core::spec::JobSpec;
+use bcp_monitor::{LatencyAccumulator, LatencySnapshot};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Commit-latency samples retained per job.
+const LATENCY_WINDOW: usize = 512;
+
+struct JobEntry {
+    spec: JobSpec,
+    registered_at: Instant,
+    generation: u64,
+    commits: u64,
+    last_step: Option<u64>,
+    bytes_committed: u64,
+    latency: LatencyAccumulator,
+}
+
+/// Serializable per-job status (`bcpctl jobs` / `bcpctl status` payload).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSummary {
+    /// Job identifier.
+    pub job_id: String,
+    /// World size of the registered spec.
+    pub world_size: usize,
+    /// Fair-share weight.
+    pub weight: u64,
+    /// Times this id has been registered (crash → re-register bumps it).
+    pub generation: u64,
+    /// Seconds since the current registration.
+    pub registered_for_s: f64,
+    /// Committed steps reported by the job.
+    pub commits: u64,
+    /// The most recent committed step, when any.
+    pub last_step: Option<u64>,
+    /// Total committed bytes reported by the job.
+    pub bytes_committed: u64,
+    /// Commit-latency percentile summary.
+    pub latency: LatencySnapshot,
+}
+
+/// Thread-safe registry of the jobs the coordinator serves.
+#[derive(Default)]
+pub struct JobRegistry {
+    jobs: Mutex<HashMap<String, JobEntry>>,
+}
+
+impl JobRegistry {
+    /// An empty registry.
+    pub fn new() -> JobRegistry {
+        JobRegistry::default()
+    }
+
+    /// Registered job count.
+    pub fn len(&self) -> usize {
+        self.jobs.lock().len()
+    }
+
+    /// Whether no jobs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.lock().is_empty()
+    }
+
+    /// Aggregate declared per-step footprint, excluding `except` (used by
+    /// admission when an id re-registers).
+    pub fn total_step_bytes_except(&self, except: &str) -> u64 {
+        self.jobs
+            .lock()
+            .iter()
+            .filter(|(id, _)| id.as_str() != except)
+            .map(|(_, e)| e.spec.step_bytes)
+            .sum()
+    }
+
+    /// Job count excluding `except`.
+    pub fn len_except(&self, except: &str) -> usize {
+        self.jobs.lock().iter().filter(|(id, _)| id.as_str() != except).count()
+    }
+
+    /// Insert (or replace, preserving traffic history) a registration.
+    /// Returns the registration generation (1 for a fresh id).
+    pub fn register(&self, spec: JobSpec) -> u64 {
+        let mut jobs = self.jobs.lock();
+        match jobs.remove(&spec.job_id) {
+            // Re-registration after a crash: same id, fresh spec, but the
+            // commit history survives so `status` shows the whole lineage.
+            Some(prev) => {
+                let generation = prev.generation + 1;
+                jobs.insert(
+                    spec.job_id.clone(),
+                    JobEntry {
+                        spec,
+                        registered_at: Instant::now(),
+                        generation,
+                        commits: prev.commits,
+                        last_step: prev.last_step,
+                        bytes_committed: prev.bytes_committed,
+                        latency: prev.latency,
+                    },
+                );
+                generation
+            }
+            None => {
+                jobs.insert(
+                    spec.job_id.clone(),
+                    JobEntry {
+                        spec,
+                        registered_at: Instant::now(),
+                        generation: 1,
+                        commits: 0,
+                        last_step: None,
+                        bytes_committed: 0,
+                        latency: LatencyAccumulator::new(LATENCY_WINDOW),
+                    },
+                );
+                1
+            }
+        }
+    }
+
+    /// Remove a job. Returns whether it was present.
+    pub fn deregister(&self, job_id: &str) -> bool {
+        self.jobs.lock().remove(job_id).is_some()
+    }
+
+    /// Record one committed step for `job_id`. Returns `false` for an
+    /// unknown job.
+    pub fn record_commit(&self, job_id: &str, step: u64, bytes: u64, wall: Duration) -> bool {
+        let mut jobs = self.jobs.lock();
+        let Some(e) = jobs.get_mut(job_id) else { return false };
+        e.commits += 1;
+        e.last_step = Some(e.last_step.map_or(step, |s| s.max(step)));
+        e.bytes_committed += bytes;
+        e.latency.record(wall);
+        true
+    }
+
+    /// The spec a job registered with, when present.
+    pub fn spec(&self, job_id: &str) -> Option<JobSpec> {
+        self.jobs.lock().get(job_id).map(|e| e.spec.clone())
+    }
+
+    /// One job's summary, when present.
+    pub fn summary(&self, job_id: &str) -> Option<JobSummary> {
+        self.jobs.lock().get(job_id).map(|e| summarize(job_id, e))
+    }
+
+    /// All summaries, sorted by job id.
+    pub fn summaries(&self) -> Vec<JobSummary> {
+        let jobs = self.jobs.lock();
+        let mut out: Vec<JobSummary> = jobs.iter().map(|(id, e)| summarize(id, e)).collect();
+        out.sort_by(|a, b| a.job_id.cmp(&b.job_id));
+        out
+    }
+}
+
+fn summarize(job_id: &str, e: &JobEntry) -> JobSummary {
+    JobSummary {
+        job_id: job_id.to_string(),
+        world_size: e.spec.world_size(),
+        weight: e.spec.quota.weight.max(1) as u64,
+        generation: e.generation,
+        registered_for_s: e.registered_at.elapsed().as_secs_f64(),
+        commits: e.commits,
+        last_step: e.last_step,
+        bytes_committed: e.bytes_committed,
+        latency: e.latency.snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_commit_summarize() {
+        let r = JobRegistry::new();
+        assert_eq!(r.register(JobSpec::new("a", "mem://jobs/a").step_bytes(10)), 1);
+        assert_eq!(r.register(JobSpec::new("b", "mem://jobs/b").step_bytes(5)), 1);
+        assert!(r.record_commit("a", 100, 4096, Duration::from_millis(12)));
+        assert!(r.record_commit("a", 110, 4096, Duration::from_millis(8)));
+        assert!(!r.record_commit("ghost", 1, 1, Duration::ZERO));
+        let s = r.summary("a").unwrap();
+        assert_eq!(s.commits, 2);
+        assert_eq!(s.last_step, Some(110));
+        assert_eq!(s.bytes_committed, 8192);
+        assert_eq!(s.latency.count, 2);
+        assert_eq!(r.summaries().len(), 2);
+        assert_eq!(r.total_step_bytes_except("a"), 5);
+        assert_eq!(r.len_except("a"), 1);
+    }
+
+    #[test]
+    fn reregistration_bumps_generation_and_keeps_history() {
+        let r = JobRegistry::new();
+        r.register(JobSpec::new("j", "mem://jobs/j"));
+        r.record_commit("j", 50, 1000, Duration::from_millis(5));
+        let gen = r.register(JobSpec::new("j", "mem://jobs/j"));
+        assert_eq!(gen, 2);
+        let s = r.summary("j").unwrap();
+        assert_eq!(s.generation, 2);
+        assert_eq!(s.commits, 1, "history survives re-registration");
+        assert!(r.deregister("j"));
+        assert!(!r.deregister("j"));
+    }
+
+    #[test]
+    fn job_summary_serde_round_trip() {
+        let r = JobRegistry::new();
+        r.register(JobSpec::new("x", "mem://jobs/x"));
+        r.record_commit("x", 3, 64, Duration::from_millis(2));
+        let s = r.summary("x").unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: JobSummary = serde_json::from_str(&json).unwrap();
+        // `registered_for_s` is a float measured at summarize time; compare
+        // the rest exactly.
+        assert_eq!(back.job_id, s.job_id);
+        assert_eq!(back.commits, s.commits);
+        assert_eq!(back.latency, s.latency);
+    }
+}

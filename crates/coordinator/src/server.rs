@@ -1,0 +1,117 @@
+//! TCP front-end for [`CoordinatorService`]: thread-per-connection,
+//! JSON-lines framing, graceful shutdown.
+
+use crate::service::CoordinatorService;
+use crate::wire::{read_line, write_line, Request, Response};
+use std::io::{self, BufReader, BufWriter, ErrorKind};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running coordinator endpoint. Dropping the handle does NOT stop the
+/// server; call [`CoordinatorServer::shutdown`].
+pub struct CoordinatorServer {
+    service: Arc<CoordinatorService>,
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl CoordinatorServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `service` on a background accept loop.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<CoordinatorService>,
+    ) -> io::Result<CoordinatorServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let service = service.clone();
+            let stop = stop.clone();
+            std::thread::Builder::new().name("bcp-coordinator-accept".into()).spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let service = service.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("bcp-coordinator-conn".into())
+                        .spawn(move || serve_connection(stream, &service));
+                }
+            })?
+        };
+        Ok(CoordinatorServer { service, local_addr, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The service this server fronts.
+    pub fn service(&self) -> &Arc<CoordinatorService> {
+        &self.service
+    }
+
+    /// Stop accepting connections and join the accept loop. Connections
+    /// already in flight finish their current request and drain on EOF.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection to ourselves.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Serve one client until EOF. A malformed line gets a typed
+/// [`Response::Error`] and the connection stays usable.
+fn serve_connection(stream: TcpStream, service: &CoordinatorService) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut r = BufReader::new(stream);
+    let mut w = BufWriter::new(write_half);
+    loop {
+        let resp = match read_line::<Request>(&mut r) {
+            Ok(Some(req)) => service.handle(req),
+            Ok(None) => return, // clean EOF
+            Err(e) if e.kind() == ErrorKind::InvalidData => {
+                Response::Error { message: format!("malformed request: {e}") }
+            }
+            Err(_) => return, // connection torn down
+        };
+        if write_line(&mut w, &resp).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn binds_ephemeral_port_and_shuts_down() {
+        let server =
+            CoordinatorServer::bind("127.0.0.1:0", CoordinatorService::with_defaults()).unwrap();
+        let addr = server.local_addr();
+        assert_ne!(addr.port(), 0);
+
+        // Raw socket: a ping line and a garbage line both get answers.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        let mut w = BufWriter::new(stream);
+        write_line(&mut w, &Request::Ping).unwrap();
+        assert_eq!(read_line::<Response>(&mut r).unwrap(), Some(Response::Ok));
+        w.write_all(b"garbage\n").unwrap();
+        w.flush().unwrap();
+        assert!(matches!(read_line::<Response>(&mut r).unwrap(), Some(Response::Error { .. })));
+
+        server.shutdown();
+    }
+}

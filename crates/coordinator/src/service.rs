@@ -1,0 +1,172 @@
+//! The coordinator service: admission + registry + scheduler behind one
+//! transport-agnostic `handle(Request) -> Response` entry point.
+
+use crate::admission::{AdmissionOutcome, AdmissionPolicy};
+use crate::registry::JobRegistry;
+use crate::scheduler::{FairShareScheduler, SchedulerConfig};
+use crate::wire::{Request, Response};
+use bcp_storage::{DynBackend, DynGovernor, GovernedBackend};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The checkpoint control plane for one storage domain: decides which jobs
+/// may run, tracks their checkpoint traffic, and arbitrates the shared
+/// storage bandwidth between them.
+pub struct CoordinatorService {
+    policy: AdmissionPolicy,
+    registry: JobRegistry,
+    scheduler: Arc<FairShareScheduler>,
+}
+
+impl CoordinatorService {
+    /// A service enforcing `policy` over a scheduler with envelope `cfg`.
+    pub fn new(policy: AdmissionPolicy, cfg: SchedulerConfig) -> Arc<CoordinatorService> {
+        Arc::new(CoordinatorService {
+            policy,
+            registry: JobRegistry::new(),
+            scheduler: Arc::new(FairShareScheduler::new(cfg)),
+        })
+    }
+
+    /// A service with default policy and scheduler envelope.
+    pub fn with_defaults() -> Arc<CoordinatorService> {
+        CoordinatorService::new(AdmissionPolicy::default(), SchedulerConfig::default())
+    }
+
+    /// The registry (read-mostly introspection).
+    pub fn registry(&self) -> &JobRegistry {
+        &self.registry
+    }
+
+    /// The bandwidth scheduler, shared with governed backends.
+    pub fn scheduler(&self) -> &Arc<FairShareScheduler> {
+        &self.scheduler
+    }
+
+    /// The scheduler as a type-erased governor.
+    pub fn governor(&self) -> DynGovernor {
+        self.scheduler.clone()
+    }
+
+    /// Wrap `inner` so every byte `job` moves through it is paced by this
+    /// service's fair-share scheduler.
+    pub fn governed_backend(&self, job: &str, inner: DynBackend) -> DynBackend {
+        Arc::new(GovernedBackend::new(inner, self.governor(), job))
+    }
+
+    /// Serve one request. Infallible by construction: every failure mode
+    /// maps onto a typed [`Response`] variant.
+    pub fn handle(&self, req: Request) -> Response {
+        match req {
+            Request::Register { spec } => {
+                let outcome = self.policy.decide(
+                    &spec,
+                    self.registry.len_except(&spec.job_id),
+                    self.registry.total_step_bytes_except(&spec.job_id),
+                );
+                if let AdmissionOutcome::Admitted { job_id, weight } = &outcome {
+                    self.scheduler.set_weight(job_id, *weight);
+                    self.registry.register(spec);
+                }
+                Response::Admission { outcome }
+            }
+            Request::Deregister { job_id } => {
+                self.scheduler.remove_job(&job_id);
+                if self.registry.deregister(&job_id) {
+                    Response::Ok
+                } else {
+                    Response::Error { message: format!("unknown job {job_id:?}") }
+                }
+            }
+            Request::ReportCommit { job_id, step, bytes, wall_ms } => {
+                if self.registry.record_commit(&job_id, step, bytes, Duration::from_millis(wall_ms))
+                {
+                    Response::Ok
+                } else {
+                    Response::Error { message: format!("unknown job {job_id:?}") }
+                }
+            }
+            Request::Jobs => Response::Jobs { jobs: self.registry.summaries() },
+            Request::Status { job_id } => match self.registry.summary(&job_id) {
+                Some(job) => Response::Status { job },
+                None => Response::Error { message: format!("unknown job {job_id:?}") },
+            },
+            Request::Ping => Response::Ok,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcp_core::spec::JobSpec;
+
+    fn svc(max_jobs: usize) -> Arc<CoordinatorService> {
+        CoordinatorService::new(
+            AdmissionPolicy { max_jobs, ..AdmissionPolicy::default() },
+            SchedulerConfig::default(),
+        )
+    }
+
+    #[test]
+    fn register_report_status_deregister() {
+        let s = svc(8);
+        let resp = s.handle(Request::Register { spec: JobSpec::new("a", "mem://jobs/a") });
+        let Response::Admission { outcome } = resp else { panic!("want Admission, got {resp:?}") };
+        assert!(outcome.is_admitted());
+
+        assert_eq!(
+            s.handle(Request::ReportCommit { job_id: "a".into(), step: 9, bytes: 128, wall_ms: 3 }),
+            Response::Ok
+        );
+        let Response::Status { job } = s.handle(Request::Status { job_id: "a".into() }) else {
+            panic!("want Status")
+        };
+        assert_eq!(job.commits, 1);
+        assert_eq!(job.last_step, Some(9));
+
+        assert_eq!(s.handle(Request::Deregister { job_id: "a".into() }), Response::Ok);
+        assert!(matches!(s.handle(Request::Status { job_id: "a".into() }), Response::Error { .. }));
+    }
+
+    #[test]
+    fn admission_backpressure_surfaces_on_the_wire_type() {
+        let s = svc(1);
+        assert!(matches!(
+            s.handle(Request::Register { spec: JobSpec::new("a", "mem://jobs/a") }),
+            Response::Admission { outcome: AdmissionOutcome::Admitted { .. } }
+        ));
+        assert!(matches!(
+            s.handle(Request::Register { spec: JobSpec::new("b", "mem://jobs/b") }),
+            Response::Admission { outcome: AdmissionOutcome::Backpressure { .. } }
+        ));
+        // Re-registration of an existing id is not a new slot.
+        assert!(matches!(
+            s.handle(Request::Register { spec: JobSpec::new("a", "mem://jobs/a") }),
+            Response::Admission { outcome: AdmissionOutcome::Admitted { .. } }
+        ));
+        let Response::Status { job } = s.handle(Request::Status { job_id: "a".into() }) else {
+            panic!("want Status")
+        };
+        assert_eq!(job.generation, 2, "re-registration bumps the generation");
+    }
+
+    #[test]
+    fn unknown_jobs_are_typed_errors() {
+        let s = svc(8);
+        assert!(matches!(
+            s.handle(Request::ReportCommit {
+                job_id: "nope".into(),
+                step: 0,
+                bytes: 0,
+                wall_ms: 0
+            }),
+            Response::Error { .. }
+        ));
+        assert!(matches!(
+            s.handle(Request::Deregister { job_id: "nope".into() }),
+            Response::Error { .. }
+        ));
+        assert_eq!(s.handle(Request::Ping), Response::Ok);
+    }
+}

@@ -1,0 +1,145 @@
+//! Simulated training jobs driven through the control plane: each job is a
+//! full multi-rank [`Session`] world whose storage traffic flows through
+//! the coordinator's fair-share governor. Used by the contention tests and
+//! `bench_coordinator`.
+
+use crate::service::CoordinatorService;
+use crate::wire::{Request, Response};
+use bcp_collectives::{Backend, CommWorld};
+use bcp_core::registry::BackendRegistry;
+use bcp_core::spec::{JobSpec, Session};
+use bcp_core::{BcpError, Result};
+use bcp_model::states::build_train_state;
+use bcp_model::{TrainerConfig, TransformerConfig};
+use bcp_storage::uri::Scheme;
+use bcp_storage::{DynBackend, MemoryBackend};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What one simulated job observed end to end.
+#[derive(Debug, Clone)]
+pub struct SimJobReport {
+    /// The job id the report describes.
+    pub job_id: String,
+    /// Steps committed (each one a full save → commit round).
+    pub steps: u64,
+    /// Bytes the engine reported persisted across all steps.
+    pub bytes: u64,
+    /// Per-step commit wall times in milliseconds, in step order.
+    pub commit_ms: Vec<f64>,
+}
+
+/// Drive `steps` train → save rounds of `spec`'s world against `service`,
+/// with every byte paced by the service's scheduler. The caller must have
+/// registered the job (admission is the caller's story); commits are
+/// reported back to the service so `bcpctl status` sees the traffic.
+///
+/// Each job gets its own private in-memory store wrapped in the service's
+/// [`bcp_storage::GovernedBackend`] — jobs contend on bandwidth, not data.
+pub fn run_sim_job(
+    service: &Arc<CoordinatorService>,
+    spec: &JobSpec,
+    model: &TransformerConfig,
+    steps: u64,
+) -> Result<SimJobReport> {
+    let inner: DynBackend = Arc::new(MemoryBackend::new());
+    let governed = service.governed_backend(&spec.job_id, inner);
+    let mut reg = BackendRegistry::new();
+    reg.register(Scheme::Memory, governed);
+    let registry = Arc::new(reg);
+
+    let world_size = spec.world_size();
+    let world = CommWorld::new(world_size, Backend::Flat);
+    let handles: Vec<_> = (0..world_size)
+        .map(|rank| {
+            let world = world.clone();
+            let registry = registry.clone();
+            let spec = spec.clone();
+            let model = model.clone();
+            let service = service.clone();
+            std::thread::spawn(move || -> Result<(u64, Vec<f64>)> {
+                let comm = world.communicator(rank)?;
+                let session = Session::open(spec.clone(), comm, registry)?;
+                let mut state =
+                    build_train_state(&model, spec.framework, spec.parallelism, rank, true);
+                let trainer = TrainerConfig::default();
+                let mut bytes = 0u64;
+                let mut commit_ms = Vec::with_capacity(steps as usize);
+                for step in 1..=steps {
+                    trainer.run(&mut state, step - 1, 1);
+                    let begin = Instant::now();
+                    let stats = session.save_step(&state, step)?.wait()?;
+                    let wall = begin.elapsed();
+                    bytes += stats.bytes;
+                    commit_ms.push(wall.as_secs_f64() * 1e3);
+                    if rank == 0 {
+                        let resp = service.handle(Request::ReportCommit {
+                            job_id: spec.job_id.clone(),
+                            step,
+                            bytes: stats.bytes,
+                            wall_ms: wall.as_millis() as u64,
+                        });
+                        if let Response::Error { message } = resp {
+                            return Err(BcpError::Plan(format!(
+                                "commit report refused: {message}"
+                            )));
+                        }
+                    }
+                }
+                Ok((bytes, commit_ms))
+            })
+        })
+        .collect();
+
+    let mut total_bytes = 0u64;
+    let mut commit_ms = Vec::new();
+    for h in handles {
+        let (bytes, ms) =
+            h.join().map_err(|_| BcpError::Plan("sim job rank panicked".into()))??;
+        total_bytes += bytes;
+        // Rank threads see the same commits; keep the slowest observation
+        // per step (the commit is not done until every rank is done).
+        if commit_ms.is_empty() {
+            commit_ms = ms;
+        } else {
+            for (slot, v) in commit_ms.iter_mut().zip(ms) {
+                *slot = slot.max(v);
+            }
+        }
+    }
+    Ok(SimJobReport { job_id: spec.job_id.clone(), steps, bytes: total_bytes, commit_ms })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::AdmissionPolicy;
+    use crate::scheduler::SchedulerConfig;
+    use bcp_model::zoo;
+
+    #[test]
+    fn sim_job_commits_and_reports() {
+        let service = CoordinatorService::new(
+            AdmissionPolicy::default(),
+            // Wide-open envelope: this test checks plumbing, not pacing.
+            SchedulerConfig { rate_bps: u64::MAX / 4, ..SchedulerConfig::default() },
+        );
+        let spec = JobSpec::new("sim", "mem://jobs/sim");
+        let Response::Admission { outcome } =
+            service.handle(Request::Register { spec: spec.clone() })
+        else {
+            panic!("want Admission")
+        };
+        assert!(outcome.is_admitted());
+
+        let report = run_sim_job(&service, &spec, &zoo::tiny_gpt(), 2).unwrap();
+        assert_eq!(report.steps, 2);
+        assert!(report.bytes > 0);
+        assert_eq!(report.commit_ms.len(), 2);
+
+        let summary = service.registry().summary("sim").unwrap();
+        assert_eq!(summary.commits, 2);
+        assert_eq!(summary.last_step, Some(2));
+        assert!(service.scheduler().granted_bytes()["sim"] > 0, "traffic was governed");
+    }
+}

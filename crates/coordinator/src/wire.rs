@@ -1,0 +1,139 @@
+//! The coordinator wire protocol: JSON-lines over any `Read`/`Write`
+//! transport (one serialized [`Request`] or [`Response`] per line).
+//!
+//! Kept deliberately transport-dumb — framing is `\n`, encoding is JSON —
+//! so `nc` against a running `bcpctl serve` works for debugging.
+
+use crate::admission::AdmissionOutcome;
+use crate::registry::JobSummary;
+use bcp_core::spec::JobSpec;
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufRead, Write};
+
+/// Client → coordinator messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Register (or re-register after a crash) a job.
+    Register {
+        /// The job to admit.
+        spec: JobSpec,
+    },
+    /// Remove a job from the registry and scheduler.
+    Deregister {
+        /// The departing job.
+        job_id: String,
+    },
+    /// Report one committed checkpoint step.
+    ReportCommit {
+        /// The reporting job.
+        job_id: String,
+        /// The committed global step.
+        step: u64,
+        /// Bytes the step persisted.
+        bytes: u64,
+        /// End-to-end commit wall time in milliseconds.
+        wall_ms: u64,
+    },
+    /// List all registered jobs.
+    Jobs,
+    /// One job's status.
+    Status {
+        /// The job to describe.
+        job_id: String,
+    },
+    /// Liveness probe.
+    Ping,
+}
+
+/// Coordinator → client messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::Register`].
+    Admission {
+        /// The typed admission decision.
+        outcome: AdmissionOutcome,
+    },
+    /// Generic success (deregister, report, ping).
+    Ok,
+    /// Answer to [`Request::Jobs`].
+    Jobs {
+        /// All registered jobs, sorted by id.
+        jobs: Vec<JobSummary>,
+    },
+    /// Answer to [`Request::Status`].
+    Status {
+        /// The requested job.
+        job: JobSummary,
+    },
+    /// The request could not be served (unknown job, malformed line).
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// Serialize `msg` as one JSON line onto `w` and flush.
+pub fn write_line<T: Serialize>(w: &mut impl Write, msg: &T) -> io::Result<()> {
+    let json = serde_json::to_string(msg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    w.write_all(json.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Read one JSON line from `r`. `Ok(None)` = clean EOF;
+/// `Err(InvalidData)` = a line that is not valid `T`.
+pub fn read_line<T: for<'de> Deserialize<'de>>(r: &mut impl BufRead) -> io::Result<Option<T>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    serde_json::from_str(trimmed)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_serde_round_trips() {
+        let reqs = vec![
+            Request::Register { spec: JobSpec::new("j1", "mem://jobs/j1") },
+            Request::Deregister { job_id: "j1".into() },
+            Request::ReportCommit { job_id: "j1".into(), step: 7, bytes: 1024, wall_ms: 12 },
+            Request::Jobs,
+            Request::Status { job_id: "j1".into() },
+            Request::Ping,
+        ];
+        for req in reqs {
+            let json = serde_json::to_string(&req).unwrap();
+            let back: Request = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn line_framing_round_trips_a_conversation() {
+        let mut buf = Vec::new();
+        write_line(&mut buf, &Request::Ping).unwrap();
+        write_line(&mut buf, &Request::Jobs).unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        assert_eq!(read_line::<Request>(&mut r).unwrap(), Some(Request::Ping));
+        assert_eq!(read_line::<Request>(&mut r).unwrap(), Some(Request::Jobs));
+        assert_eq!(read_line::<Request>(&mut r).unwrap(), None, "EOF");
+    }
+
+    #[test]
+    fn malformed_lines_are_invalid_data() {
+        let mut r = BufReader::new(&b"not json\n"[..]);
+        let err = read_line::<Request>(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

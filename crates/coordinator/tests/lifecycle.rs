@@ -1,0 +1,147 @@
+//! Session lifecycle through the control plane: register → save → crash →
+//! re-register → `load_latest` resumes exactly where the job died, with
+//! the registry lineage (generation, commit history) intact.
+
+use bcp_collectives::{Backend, CommWorld};
+use bcp_coordinator::{CoordinatorService, Request, Response};
+use bcp_core::registry::BackendRegistry;
+use bcp_core::spec::{JobSpec, Session};
+use bcp_model::states::build_train_state;
+use bcp_model::zoo::tiny_gpt;
+use bcp_model::{TrainState, TrainerConfig};
+use bcp_storage::uri::Scheme;
+use bcp_storage::{DynBackend, MemoryBackend};
+use bcp_topology::Parallelism;
+use std::sync::Arc;
+
+const WORLD: usize = 2;
+
+fn spec() -> JobSpec {
+    JobSpec::new("llm", "mem://jobs/llm").parallelism(Parallelism { tp: 1, dp: WORLD, pp: 1 })
+}
+
+/// Registry whose memory scheme routes through the service's governor and
+/// down to `store` — the persistent fixture that survives a "crash".
+fn governed_registry(
+    service: &Arc<CoordinatorService>,
+    store: &DynBackend,
+) -> Arc<BackendRegistry> {
+    let mut reg = BackendRegistry::new();
+    reg.register(Scheme::Memory, service.governed_backend("llm", store.clone()));
+    Arc::new(reg)
+}
+
+fn reference_state(rank: usize, steps: u64) -> TrainState {
+    let mut s = build_train_state(&tiny_gpt(), spec().framework, spec().parallelism, rank, true);
+    TrainerConfig::default().run(&mut s, 0, steps);
+    s
+}
+
+fn register(service: &Arc<CoordinatorService>) {
+    let Response::Admission { outcome } = service.handle(Request::Register { spec: spec() }) else {
+        panic!("want Admission")
+    };
+    assert!(outcome.is_admitted(), "{outcome:?}");
+}
+
+#[test]
+fn crash_reregister_resume() {
+    let service = CoordinatorService::with_defaults();
+    let store: DynBackend = Arc::new(MemoryBackend::new());
+
+    // Incarnation 1: admitted, trains to step 3 saving each step, then
+    // "crashes" (sessions drop without deregistering).
+    register(&service);
+    {
+        let registry = governed_registry(&service, &store);
+        let world = CommWorld::new(WORLD, Backend::Flat);
+        let handles: Vec<_> = (0..WORLD)
+            .map(|rank| {
+                let world = world.clone();
+                let registry = registry.clone();
+                let service = service.clone();
+                std::thread::spawn(move || {
+                    let session =
+                        Session::open(spec(), world.communicator(rank).unwrap(), registry).unwrap();
+                    let mut state = build_train_state(
+                        &tiny_gpt(),
+                        spec().framework,
+                        spec().parallelism,
+                        rank,
+                        true,
+                    );
+                    for step in 1..=3u64 {
+                        TrainerConfig::default().run(&mut state, step - 1, 1);
+                        let stats = session.save_step(&state, step).unwrap().wait().unwrap();
+                        if rank == 0 {
+                            let resp = service.handle(Request::ReportCommit {
+                                job_id: "llm".into(),
+                                step,
+                                bytes: stats.bytes,
+                                wall_ms: 1,
+                            });
+                            assert_eq!(resp, Response::Ok);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    // The control plane still lists the job; the crash lost the workers,
+    // not the registration.
+    let before = service.registry().summary("llm").unwrap();
+    assert_eq!(before.generation, 1);
+    assert_eq!(before.commits, 3);
+
+    // Incarnation 2: re-register (generation bumps, history survives),
+    // open fresh sessions against the surviving store, resume.
+    register(&service);
+    let after = service.registry().summary("llm").unwrap();
+    assert_eq!(after.generation, 2, "re-registration is a new incarnation");
+    assert_eq!(after.commits, 3, "commit lineage survives the crash");
+
+    let registry = governed_registry(&service, &store);
+    let world = CommWorld::new(WORLD, Backend::Flat);
+    let handles: Vec<_> = (0..WORLD)
+        .map(|rank| {
+            let world = world.clone();
+            let registry = registry.clone();
+            std::thread::spawn(move || {
+                let session =
+                    Session::open(spec(), world.communicator(rank).unwrap(), registry).unwrap();
+                let mut state = build_train_state(
+                    &tiny_gpt(),
+                    spec().framework,
+                    spec().parallelism,
+                    rank,
+                    true,
+                );
+                let outcome = session
+                    .load_latest(&mut state)
+                    .unwrap()
+                    .expect("a committed step exists to resume from");
+                assert_eq!(outcome.report.metadata.step, 3, "resumes from the newest commit");
+                assert!(outcome.quarantined.is_empty());
+
+                // Bitwise identical to the deterministic reference at step 3.
+                let want = reference_state(rank, 3);
+                for (fqn, w) in &want.model.entries {
+                    let g =
+                        state.model.get(fqn).unwrap_or_else(|| panic!("rank {rank} missing {fqn}"));
+                    assert!(g.tensor.bitwise_eq(&w.tensor), "rank {rank} {fqn} diverged");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Clean exit this time.
+    assert_eq!(service.handle(Request::Deregister { job_id: "llm".into() }), Response::Ok);
+    assert!(service.registry().is_empty());
+}

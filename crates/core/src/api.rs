@@ -21,7 +21,7 @@
 use crate::engine::iopool::IoPool;
 use crate::engine::pool::PinnedPool;
 use crate::fault::{FaultHook, FaultPlan};
-use crate::hottier::{assemble_hot_step, TierBreakdown};
+use crate::hottier::{assemble_hot_step, HotTierConfig, TierBreakdown};
 use crate::integrity::{FailureLog, FailureRecord, RetryPolicy};
 use crate::loader_reshard::load_loader_states;
 use crate::manager::{CheckpointManager, QuarantinedStep};
@@ -40,21 +40,6 @@ use bcp_monitor::{MetricsHub, MetricsSink};
 use bcp_storage::{CheckpointLocation, DynBackend, HotTier, InstrumentedBackend};
 use bcp_topology::Parallelism;
 use std::sync::Arc;
-
-/// Construction-time options for a [`Checkpointer`] (legacy constructor
-/// path; prefer [`Checkpointer::builder`]).
-pub struct CheckpointerOptions {
-    /// Workflow and engine tuning (defaults = all optimizations on).
-    pub workflow: WorkflowOptions,
-    /// Metrics destination (defaults to disabled).
-    pub sink: MetricsSink,
-}
-
-impl Default for CheckpointerOptions {
-    fn default() -> CheckpointerOptions {
-        CheckpointerOptions { workflow: WorkflowOptions::default(), sink: MetricsSink::disabled() }
-    }
-}
 
 /// A save request: what to checkpoint and where.
 pub struct SaveRequest<'a> {
@@ -97,6 +82,29 @@ impl<'a> SaveRequest<'a> {
     }
 }
 
+/// The dataloader resharding target of a load: which data-parallel layout
+/// the restored dataloader states should be cut to.
+///
+/// Replaces the old positional `(dp_size, workers_per_rank, my_dp_rank)`
+/// tuple — the three fields are all `usize`, so the tuple invited silent
+/// transpositions. Serializable so a [`crate::spec::JobSpec`] can carry it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct LoaderTarget {
+    /// Data-parallel world size of the *resuming* job.
+    pub dp_size: usize,
+    /// Dataloader workers per rank in the resuming job.
+    pub workers_per_rank: usize,
+    /// This rank's data-parallel index.
+    pub my_dp_rank: usize,
+}
+
+impl LoaderTarget {
+    /// Build a target from the three degrees.
+    pub fn new(dp_size: usize, workers_per_rank: usize, my_dp_rank: usize) -> LoaderTarget {
+        LoaderTarget { dp_size, workers_per_rank, my_dp_rank }
+    }
+}
+
 /// A load request: the target states to fill. The state dict's sharding
 /// specs define the *target* parallelism; resharding happens automatically
 /// when it differs from the source.
@@ -105,9 +113,9 @@ pub struct LoadRequest<'a> {
     pub location: CheckpointLocation,
     /// Target state; tensor values are replaced in place.
     pub state: &'a mut TrainState,
-    /// Request dataloader states resharded to this (dp_size,
-    /// workers_per_rank, my_dp_rank), when the caller drives a dataloader.
-    pub loader_target: Option<(usize, usize, usize)>,
+    /// Request dataloader states resharded to this target, when the caller
+    /// drives a dataloader.
+    pub loader_target: Option<LoaderTarget>,
 }
 
 impl<'a> LoadRequest<'a> {
@@ -119,15 +127,9 @@ impl<'a> LoadRequest<'a> {
         LoadRequest { location: location.into(), state, loader_target: None }
     }
 
-    /// Request dataloader states resharded to `(dp_size, workers_per_rank,
-    /// my_dp_rank)`.
-    pub fn with_loader_target(
-        mut self,
-        dp_size: usize,
-        workers_per_rank: usize,
-        my_dp_rank: usize,
-    ) -> LoadRequest<'a> {
-        self.loader_target = Some((dp_size, workers_per_rank, my_dp_rank));
+    /// Request dataloader states resharded to `target`.
+    pub fn with_loader_target(mut self, target: LoaderTarget) -> LoadRequest<'a> {
+        self.loader_target = Some(target);
         self
     }
 }
@@ -268,28 +270,40 @@ impl CheckpointerBuilder {
     /// recover through those copies before the persistent tree. Defaults to
     /// **off**; must agree across ranks (the replication exchange and the
     /// recovery assembly are symmetric collectives).
-    pub fn hot_tier(mut self, enabled: bool) -> CheckpointerBuilder {
-        self.workflow.hot.enabled = enabled;
+    ///
+    /// Takes the whole [`HotTierConfig`] block; a bare `bool` still works
+    /// (`true` = enabled with the default shape):
+    ///
+    /// ```ignore
+    /// builder.hot_tier(HotTierConfig::enabled().replicas(2).gpus_per_host(8))
+    /// ```
+    pub fn hot_tier(mut self, config: impl Into<HotTierConfig>) -> CheckpointerBuilder {
+        self.workflow.hot = config.into();
         self
     }
 
-    /// Peer replicas per shard (R) for the hot tier. Capped at
-    /// `num_hosts - 1` by the failure-domain-aware placement. Default 1.
+    /// Peer replicas per shard (R) for the hot tier.
+    #[deprecated(since = "0.3.0", note = "use hot_tier(HotTierConfig::enabled().replicas(..))")]
     pub fn hot_tier_replicas(mut self, replicas: usize) -> CheckpointerBuilder {
         self.workflow.hot.replicas = replicas;
         self
     }
 
-    /// Hot-ring capacity in steps (K): how many recent committed steps stay
-    /// resident. Default 2.
+    /// Hot-ring capacity in steps (K).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use hot_tier(HotTierConfig::enabled().capacity_steps(..))"
+    )]
     pub fn hot_tier_capacity(mut self, steps: usize) -> CheckpointerBuilder {
         self.workflow.hot.capacity_steps = steps.max(1);
         self
     }
 
-    /// Ranks per failure domain (host) for replica placement: replicas are
-    /// never placed on the source's host. Default 1 (every rank its own
-    /// host).
+    /// Ranks per failure domain (host) for replica placement.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use hot_tier(HotTierConfig::enabled().gpus_per_host(..))"
+    )]
     pub fn hot_tier_layout(mut self, gpus_per_host: usize) -> CheckpointerBuilder {
         self.workflow.hot.gpus_per_host = gpus_per_host.max(1);
         self
@@ -389,30 +403,6 @@ impl Checkpointer {
         CheckpointerBuilder::new(comm)
     }
 
-    /// Build a checkpointer from positional arguments.
-    #[deprecated(since = "0.2.0", note = "use Checkpointer::builder(comm)...build()")]
-    pub fn new(
-        comm: Communicator,
-        framework: Framework,
-        parallelism: Parallelism,
-        registry: Arc<BackendRegistry>,
-        options: CheckpointerOptions,
-    ) -> Checkpointer {
-        let io_threads = options.workflow.save.io_threads.max(options.workflow.load.io_threads);
-        Checkpointer {
-            ctx: JobContext { comm, framework, parallelism },
-            registry,
-            options: options.workflow,
-            sink: options.sink,
-            cache: Arc::new(PlanCache::new()),
-            pool: PinnedPool::new(2),
-            io: IoPool::new(io_threads),
-            failures: Arc::new(FailureLog::new()),
-            telemetry: None,
-            hot: None,
-        }
-    }
-
     /// This worker's rank.
     pub fn rank(&self) -> usize {
         self.ctx.rank()
@@ -439,9 +429,7 @@ impl Checkpointer {
     /// phase issued it.
     fn instrumented(&self, backend: DynBackend) -> DynBackend {
         match &self.telemetry {
-            Some(_) => {
-                Arc::new(InstrumentedBackend::new(backend, self.sink.clone(), self.rank()))
-            }
+            Some(_) => Arc::new(InstrumentedBackend::new(backend, self.sink.clone(), self.rank())),
             None => backend,
         }
     }
@@ -502,9 +490,14 @@ impl Checkpointer {
             overlay,
         )?;
         let loader = match req.loader_target {
-            Some((dp, workers, my_dp)) => {
-                load_loader_states(&backend, &uri.key, &report.metadata, dp, workers, my_dp)?
-            }
+            Some(t) => load_loader_states(
+                &backend,
+                &uri.key,
+                &report.metadata,
+                t.dp_size,
+                t.workers_per_rank,
+                t.my_dp_rank,
+            )?,
             None => None,
         };
         Ok(LoadOutcome { report, loader, quarantined: Vec::new() })
@@ -533,7 +526,7 @@ impl Checkpointer {
         &self,
         root: impl Into<CheckpointLocation>,
         state: &mut TrainState,
-        loader_target: Option<(usize, usize, usize)>,
+        loader_target: Option<LoaderTarget>,
     ) -> Result<Option<LoadOutcome>> {
         let root: CheckpointLocation = root.into();
         let backend = self.registry.resolve(root.uri())?;
@@ -586,13 +579,8 @@ impl Checkpointer {
                     FaultHook::new(self.options.faults.clone(), self.ctx.rank())
                         .with_on_kill(move || comm.mark_self_failed())
                 };
-                let assembly = assemble_hot_step(
-                    &self.ctx.comm,
-                    hot,
-                    &faults,
-                    step,
-                    &location.uri().key,
-                )?;
+                let assembly =
+                    assemble_hot_step(&self.ctx.comm, hot, &faults, step, &location.uri().key)?;
                 Some((assembly.files, assembly.fallbacks))
             }
             _ => None,

@@ -85,10 +85,7 @@ mod tests {
         let journal = JournalBackend::new(Arc::new(MemoryBackend::new())).unwrap();
         journal.write("a/data", Bytes::from(vec![1u8; 64])).unwrap();
         journal
-            .write_segments(
-                "a/gather",
-                &[Bytes::from(vec![2u8; 32]), Bytes::from(vec![3u8; 32])],
-            )
+            .write_segments("a/gather", &[Bytes::from(vec![2u8; 32]), Bytes::from(vec![3u8; 32])])
             .unwrap();
         journal.rename("a/data", "a/renamed").unwrap();
         journal.delete("a/renamed").unwrap();

@@ -115,7 +115,7 @@ mod tests {
     #[test]
     fn run_batch_preserves_submission_order() {
         let pool = IoPool::new(4);
-        let jobs: Vec<Box<dyn FnOnce() -> Result<usize> + Send>> = (0..32)
+        let jobs: Vec<Box<dyn FnOnce() -> Result<usize> + Send>> = (0..32usize)
             .map(|i| {
                 Box::new(move || {
                     if i % 3 == 0 {
@@ -158,11 +158,8 @@ mod tests {
     #[test]
     fn panicking_job_yields_error_not_hang() {
         let pool = IoPool::new(2);
-        let jobs: Vec<Box<dyn FnOnce() -> Result<u32> + Send>> = vec![
-            Box::new(|| Ok(1)),
-            Box::new(|| panic!("boom")),
-            Box::new(|| Ok(3)),
-        ];
+        let jobs: Vec<Box<dyn FnOnce() -> Result<u32> + Send>> =
+            vec![Box::new(|| Ok(1)), Box::new(|| panic!("boom")), Box::new(|| Ok(3))];
         let results = pool.run_batch(jobs);
         assert_eq!(results[0].as_ref().unwrap(), &1);
         assert!(results[1].is_err());

@@ -175,11 +175,8 @@ fn fetch_item(
     // Per-item detail span (uncounted: the load/read phase span carries the
     // time) giving the path and byte count each fetch moved, so slow-I/O
     // alerting and traces work on the load path too.
-    let mut span = sink
-        .span_under("load/fetch", rank, step, parent)
-        .uncounted()
-        .path(path.clone())
-        .bytes(len);
+    let mut span =
+        sink.span_under("load/fetch", rank, step, parent).uncounted().path(path.clone()).bytes(len);
     let _in_fetch = span.enter();
     if len <= cfg.chunk_bytes || cfg.io_threads <= 1 {
         return with_retries(cfg.retries, log, rank, "load/read", Some(&path), || {
@@ -244,10 +241,10 @@ pub fn execute_load(
 /// Apply a forwarded payload to every waiting recv item with its key.
 /// Unknown keys are ignored (the final leftover check reports anything that
 /// never arrived).
-fn apply_forwarded<'a>(
+fn apply_forwarded(
     assembler: &mut Assembler,
     state: &TrainState,
-    waiting: &mut HashMap<ReadKey, Vec<(usize, &'a ReadItem)>>,
+    waiting: &mut HashMap<ReadKey, Vec<(usize, &ReadItem)>>,
     key: &ReadKey,
     payload: &Bytes,
 ) -> Result<()> {
@@ -333,9 +330,8 @@ fn execute_load_overlapped(
                     for _ in 0..count {
                         let msg = c.recv::<(ReadKey, Bytes)>(src);
                         let failed = msg.is_err();
-                        let relay = msg
-                            .map(|(key, payload)| (src, key, payload))
-                            .map_err(BcpError::from);
+                        let relay =
+                            msg.map(|(key, payload)| (src, key, payload)).map_err(BcpError::from);
                         if fwd_tx.send(relay).is_err() || failed {
                             break 'sources;
                         }
@@ -374,8 +370,11 @@ fn execute_load_overlapped(
             let (offset, len) = item.fetch_range();
             let path = format!("{prefix}/{}", item.file);
             let single = len <= cfg.chunk_bytes || cfg.io_threads <= 1;
-            let ranges =
-                if single { vec![(offset, len)] } else { chunk_ranges(offset, len, cfg.chunk_bytes) };
+            let ranges = if single {
+                vec![(offset, len)]
+            } else {
+                chunk_ranges(offset, len, cfg.chunk_bytes)
+            };
             let mut span = sink
                 .span_under("load/fetch", rank, step, read_ctx)
                 .uncounted()
@@ -451,7 +450,13 @@ fn execute_load_overlapped(
                 match fwd_rx.try_recv() {
                     Ok(Ok((_from, key, payload))) => {
                         forwarded_bytes += payload.len() as u64;
-                        apply_forwarded(&mut assembler, state, &mut remote_waiting, &key, &payload)?;
+                        apply_forwarded(
+                            &mut assembler,
+                            state,
+                            &mut remote_waiting,
+                            &key,
+                            &payload,
+                        )?;
                         applied_msgs += 1;
                     }
                     Ok(Err(e)) => return Err(e),
@@ -474,9 +479,7 @@ fn execute_load_overlapped(
                     applied_msgs += 1;
                 }
                 Ok(Err(e)) => return Err(e),
-                Err(_) => {
-                    return Err(BcpError::Corrupt("forward receiver thread died".into()))
-                }
+                Err(_) => return Err(BcpError::Corrupt("forward receiver thread died".into())),
             }
         }
         t.add_bytes(forwarded_bytes);
@@ -654,8 +657,19 @@ mod tests {
         let cfg = LoadConfig { io_threads: 4, chunk_bytes: 16 * 1024, ..Default::default() };
         let io = IoPool::new(4);
         let log = Arc::new(FailureLog::new());
-        let got =
-            fetch_item(&backend, "ckpt", &whole_file_item(n), &cfg, &io, &log, 0, &MetricsSink::disabled(), SpanContext::none(), 0).unwrap();
+        let got = fetch_item(
+            &backend,
+            "ckpt",
+            &whole_file_item(n),
+            &cfg,
+            &io,
+            &log,
+            0,
+            &MetricsSink::disabled(),
+            SpanContext::none(),
+            0,
+        )
+        .unwrap();
         assert_eq!(&got[..], &payload[..], "chunked reassembly must be byte-exact");
         // Memory-backed ranged reads are adjacent views of the stored
         // object, so the chunks stitch back zero-copy.
@@ -672,7 +686,19 @@ mod tests {
         let cfg = LoadConfig { io_threads: 2, chunk_bytes: 32 * 1024, ..Default::default() };
         let io = IoPool::new(2);
         let log = Arc::new(FailureLog::new());
-        let got = fetch_item(&flaky, "ckpt", &whole_file_item(n), &cfg, &io, &log, 3, &MetricsSink::disabled(), SpanContext::none(), 0).unwrap();
+        let got = fetch_item(
+            &flaky,
+            "ckpt",
+            &whole_file_item(n),
+            &cfg,
+            &io,
+            &log,
+            3,
+            &MetricsSink::disabled(),
+            SpanContext::none(),
+            0,
+        )
+        .unwrap();
         assert_eq!(got.len(), payload.len());
         assert!(!log.is_empty(), "the injected read failures must be logged");
         assert!(log.records().iter().all(|r| r.stage.starts_with("load/")));
@@ -686,7 +712,19 @@ mod tests {
         let cfg = LoadConfig { io_threads: 4, chunk_bytes: 1 << 20, ..Default::default() };
         let io = IoPool::new(4);
         let log = Arc::new(FailureLog::new());
-        let got = fetch_item(&backend, "ckpt", &whole_file_item(16), &cfg, &io, &log, 0, &MetricsSink::disabled(), SpanContext::none(), 0).unwrap();
+        let got = fetch_item(
+            &backend,
+            "ckpt",
+            &whole_file_item(16),
+            &cfg,
+            &io,
+            &log,
+            0,
+            &MetricsSink::disabled(),
+            SpanContext::none(),
+            0,
+        )
+        .unwrap();
         assert_eq!(got.len(), 64);
         // A single-range memory fetch is a view of the stored allocation.
         assert_eq!(got.as_ptr(), stored.as_ptr());

@@ -38,12 +38,8 @@ pub fn extract_isect(item: &ReadItem, fetched: &Bytes) -> Result<Bytes> {
     let es = item.dtype.size();
     let stored_strides = bcp_tensor::layout::contiguous_strides(&item.stored_lengths);
     // Intersection coordinates relative to the stored box.
-    let rel_off: Vec<usize> = item
-        .isect_offsets
-        .iter()
-        .zip(&item.stored_offsets)
-        .map(|(i, s)| i - s)
-        .collect();
+    let rel_off: Vec<usize> =
+        item.isect_offsets.iter().zip(&item.stored_offsets).map(|(i, s)| i - s).collect();
     let first_elem = bcp_tensor::layout::ravel_index(&rel_off, &item.stored_lengths);
     let rank = item.isect_lengths.len();
     let n = item.isect_numel();
@@ -114,18 +110,13 @@ impl Assembler {
             .ok_or_else(|| BcpError::Missing(format!("no local entry for {}", item.fqn)))?;
         let es = item.dtype.size();
         let key = (item.category, item.fqn.clone());
-        let buf = self.buffers.entry(key).or_insert_with(|| {
-            BytesMut::zeroed(entry.tensor.nbytes())
-        });
+        let buf =
+            self.buffers.entry(key).or_insert_with(|| BytesMut::zeroed(entry.tensor.nbytes()));
         // Geometry: the dest piece (shape dest_lengths) lives at local
         // element offset dest_local_elem_start; the intersection sits at
         // rel = isect_offsets - dest_offsets inside it.
-        let rel: Vec<usize> = item
-            .isect_offsets
-            .iter()
-            .zip(&item.dest_offsets)
-            .map(|(i, d)| i - d)
-            .collect();
+        let rel: Vec<usize> =
+            item.isect_offsets.iter().zip(&item.dest_offsets).map(|(i, d)| i - d).collect();
         let piece_strides = bcp_tensor::layout::contiguous_strides(&item.dest_lengths);
         let rank = item.isect_lengths.len();
         if rank == 0 {
@@ -223,16 +214,12 @@ mod tests {
         let (fo, fl) = item.fetch_range();
         assert_eq!((fo, fl), (8 * 4, 9 * 4));
         let fetched = Bytes::copy_from_slice(
-            &stored
-                .iter()
-                .flat_map(|v| v.to_le_bytes())
-                .collect::<Vec<u8>>()[fo as usize..(fo + fl) as usize],
+            &stored.iter().flat_map(|v| v.to_le_bytes()).collect::<Vec<u8>>()
+                [fo as usize..(fo + fl) as usize],
         );
         let isect = extract_isect(&item, &fetched).unwrap();
-        let vals: Vec<f32> = isect
-            .chunks(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let vals: Vec<f32> =
+            isect.chunks(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
         // Rows 1..3, cols 2..5 of the (4,6) iota: 8,9,10 / 14,15,16.
         assert_eq!(vals, vec![8.0, 9.0, 10.0, 14.0, 15.0, 16.0]);
     }

@@ -203,7 +203,8 @@ pub fn execute_save_staged(
         let mut files: BTreeMap<String, Vec<Bytes>> = BTreeMap::new();
         let mut cursors: BTreeMap<String, u64> = BTreeMap::new();
         {
-            let _t = sink.span_under("save/serialize", rank, step, parent).bytes(plan.total_bytes());
+            let _t =
+                sink.span_under("save/serialize", rank, step, parent).bytes(plan.total_bytes());
             for ((item, payload), bm) in plan.items.iter().zip(&captured).zip(&expected) {
                 let payload = payload.share();
                 let header = encode_frame_header(&item.shard, item.basic.dtype, payload.len());
@@ -263,20 +264,21 @@ pub fn execute_save_staged(
                 if bytes > cfg2.split_threshold && cfg2.split_parts > 1 {
                     f.set_attr("split_parts", cfg2.split_parts.to_string());
                     let parts = split_segments(&segments, bytes as usize, cfg2.split_parts, &path);
-                    concats.push((
-                        path,
-                        parts.iter().map(|(n, _)| n.clone()).collect(),
-                        fctx,
-                    ));
+                    concats.push((path, parts.iter().map(|(n, _)| n.clone()).collect(), fctx));
                     for (name, part_segs) in parts {
                         let backend = backend.clone();
                         let log = log.clone();
                         let retries = cfg2.retries;
                         jobs.push(Box::new(move || {
                             let _e = enter_context(fctx);
-                            with_retries(retries, &log, rank, "save/upload-part", Some(&name), || {
-                                backend.write_segments(&name, &part_segs)
-                            })
+                            with_retries(
+                                retries,
+                                &log,
+                                rank,
+                                "save/upload-part",
+                                Some(&name),
+                                || backend.write_segments(&name, &part_segs),
+                            )
                         }));
                     }
                 } else {
@@ -436,9 +438,8 @@ mod tests {
         assert_eq!(pool.copied_bytes(), plan.total_bytes());
         // Every planned ByteMeta points at the right payload.
         for (item, bm) in plan.items.iter().zip(plan.byte_metas()) {
-            let got = backend
-                .read_range(&format!("ckpt/{}", bm.file), bm.offset, bm.length)
-                .unwrap();
+            let got =
+                backend.read_range(&format!("ckpt/{}", bm.file), bm.offset, bm.length).unwrap();
             let dict = match item.category {
                 crate::plan::Category::Model => &state.model,
                 crate::plan::Category::Optimizer => &state.optimizer,
@@ -473,8 +474,16 @@ mod tests {
         let sink = MetricsSink::disabled();
         let log = Arc::new(FailureLog::new());
         let handle = execute_save(
-            &plan, &state, slow, "ckpt", &pool, &io, &sink, log,
-            &SaveConfig { async_upload: true, ..Default::default() }, 0,
+            &plan,
+            &state,
+            slow,
+            "ckpt",
+            &pool,
+            &io,
+            &sink,
+            log,
+            &SaveConfig { async_upload: true, ..Default::default() },
+            0,
             &FaultHook::inert(0),
             SpanContext::none(),
         )
@@ -538,8 +547,16 @@ mod tests {
         let sink = MetricsSink::disabled();
         let log = Arc::new(FailureLog::new());
         let handle = execute_save(
-            &plan, &state, flaky, "ckpt", &pool, &io, &sink, log.clone(),
-            &SaveConfig { async_upload: false, ..Default::default() }, 0,
+            &plan,
+            &state,
+            flaky,
+            "ckpt",
+            &pool,
+            &io,
+            &sink,
+            log.clone(),
+            &SaveConfig { async_upload: false, ..Default::default() },
+            0,
             &FaultHook::inert(0),
             SpanContext::none(),
         )
@@ -556,9 +573,7 @@ mod tests {
             Bytes::from_static(b"45"),
             Bytes::from_static(b"6789"),
         ];
-        let flat = |w: Vec<Bytes>| {
-            w.iter().flat_map(|b| b.iter().copied()).collect::<Vec<u8>>()
-        };
+        let flat = |w: Vec<Bytes>| w.iter().flat_map(|b| b.iter().copied()).collect::<Vec<u8>>();
         assert_eq!(flat(slice_window(&segs, 0, 10)), b"0123456789");
         assert_eq!(flat(slice_window(&segs, 3, 4)), b"3456");
         assert_eq!(flat(slice_window(&segs, 4, 2)), b"45");

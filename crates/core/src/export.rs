@@ -73,11 +73,8 @@ pub fn export_safetensors(
 ) -> Result<Bytes> {
     let meta_bytes = backend.read(&format!("{prefix}/{METADATA_FILE}"))?;
     let meta = GlobalMetadata::from_bytes(&meta_bytes).map_err(BcpError::Corrupt)?;
-    let fqns: Vec<&String> = meta
-        .tensor_map
-        .keys()
-        .filter(|f| include_optimizer || !f.starts_with("optim."))
-        .collect();
+    let fqns: Vec<&String> =
+        meta.tensor_map.keys().filter(|f| include_optimizer || !f.starts_with("optim.")).collect();
 
     // Header construction: offsets are relative to the data section.
     let mut header: BTreeMap<String, serde_json::Value> = BTreeMap::new();
@@ -144,7 +141,11 @@ pub fn import_safetensors(
         meta.tensor_map.entry(fqn.clone()).or_default().push(TensorShardEntry {
             shard,
             basic: BasicMeta::contiguous(tensor.dtype(), tensor.shape().to_vec(), "import"),
-            byte: ByteMeta { file: file.clone(), offset: payload_off, length: payload.len() as u64 },
+            byte: ByteMeta {
+                file: file.clone(),
+                offset: payload_off,
+                length: payload.len() as u64,
+            },
         });
     }
     backend.write(&format!("{prefix}/{file}"), buf.freeze())?;
@@ -163,9 +164,8 @@ pub fn parse_safetensors(data: &Bytes) -> Result<BTreeMap<String, Tensor>> {
     if 8 + hlen > data.len() {
         return Err(BcpError::Corrupt("safetensors header exceeds blob".into()));
     }
-    let header: BTreeMap<String, serde_json::Value> =
-        serde_json::from_slice(&data[8..8 + hlen])
-            .map_err(|e| BcpError::Corrupt(format!("bad safetensors header: {e}")))?;
+    let header: BTreeMap<String, serde_json::Value> = serde_json::from_slice(&data[8..8 + hlen])
+        .map_err(|e| BcpError::Corrupt(format!("bad safetensors header: {e}")))?;
     let base = 8 + hlen;
     let mut out = BTreeMap::new();
     for (name, spec) in header {

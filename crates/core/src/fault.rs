@@ -143,8 +143,8 @@ mod tests {
     fn hook_fires_on_kill_then_errors() {
         let fired = Arc::new(AtomicUsize::new(0));
         let counter = fired.clone();
-        let hook = FaultHook::new(FaultPlan::new().kill(3, "save/upload"), 3)
-            .with_on_kill(move || {
+        let hook =
+            FaultHook::new(FaultPlan::new().kill(3, "save/upload"), 3).with_on_kill(move || {
                 counter.fetch_add(1, Ordering::Relaxed);
             });
         hook.check("save/plan").unwrap();

@@ -29,8 +29,17 @@ use std::sync::Arc;
 
 /// Hot-tier configuration (must be identical on every rank of a job: the
 /// replication exchange is a symmetric collective protocol).
-#[derive(Debug, Clone)]
-pub struct HotTierOptions {
+///
+/// Serializable so a [`crate::spec::JobSpec`] can carry it over the
+/// control-plane wire. Build one with the chainable constructors:
+///
+/// ```
+/// # use bcp_core::HotTierConfig;
+/// let cfg = HotTierConfig::enabled().replicas(2).capacity_steps(3).gpus_per_host(8);
+/// assert!(cfg.enabled);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct HotTierConfig {
     /// Replicate committed shard frames into the in-process hot tier and
     /// recover through it. Defaults to **off** (opt-in).
     pub enabled: bool,
@@ -44,13 +53,50 @@ pub struct HotTierOptions {
     pub gpus_per_host: usize,
 }
 
-impl Default for HotTierOptions {
-    fn default() -> HotTierOptions {
-        HotTierOptions { enabled: false, replicas: 1, capacity_steps: 2, gpus_per_host: 1 }
+impl Default for HotTierConfig {
+    fn default() -> HotTierConfig {
+        HotTierConfig { enabled: false, replicas: 1, capacity_steps: 2, gpus_per_host: 1 }
     }
 }
 
-fn placement(comm: &Communicator, opts: &HotTierOptions) -> Result<ReplicaPlacement> {
+impl HotTierConfig {
+    /// An enabled tier with the default shape (R = 1, K = 2, one rank per
+    /// host).
+    pub fn enabled() -> HotTierConfig {
+        HotTierConfig { enabled: true, ..HotTierConfig::default() }
+    }
+
+    /// Set the peer replica count (R).
+    pub fn replicas(mut self, replicas: usize) -> HotTierConfig {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Set the hot-ring capacity in steps (K); clamped to ≥ 1.
+    pub fn capacity_steps(mut self, steps: usize) -> HotTierConfig {
+        self.capacity_steps = steps.max(1);
+        self
+    }
+
+    /// Set the failure-domain width; clamped to ≥ 1.
+    pub fn gpus_per_host(mut self, gpus: usize) -> HotTierConfig {
+        self.gpus_per_host = gpus.max(1);
+        self
+    }
+}
+
+/// `true` is an enabled tier with default shape; `false` disables it.
+impl From<bool> for HotTierConfig {
+    fn from(enabled: bool) -> HotTierConfig {
+        HotTierConfig { enabled, ..HotTierConfig::default() }
+    }
+}
+
+/// Pre-redesign name of [`HotTierConfig`].
+#[deprecated(since = "0.3.0", note = "renamed to HotTierConfig")]
+pub type HotTierOptions = HotTierConfig;
+
+fn placement(comm: &Communicator, opts: &HotTierConfig) -> Result<ReplicaPlacement> {
     ReplicaPlacement::new(comm.size(), opts.gpus_per_host.max(1), opts.replicas)
         .map_err(|e| BcpError::Plan(format!("hot-tier placement: {e}")))
 }
@@ -69,7 +115,7 @@ type ReplicaMsg = (u64, usize, HotFiles);
 pub fn replicate_after_commit(
     comm: &Communicator,
     hot: &Arc<HotTier>,
-    opts: &HotTierOptions,
+    opts: &HotTierConfig,
     step: u64,
     files: HotFiles,
 ) -> Result<()> {
@@ -99,8 +145,7 @@ fn verify_files(files: HotFiles, source: usize, fallbacks: &mut Vec<String>) -> 
                 false
             }
             Err(e) => {
-                fallbacks
-                    .push(format!("hot copy {name} (rank {source}) failed verification: {e}"));
+                fallbacks.push(format!("hot copy {name} (rank {source}) failed verification: {e}"));
                 false
             }
         })

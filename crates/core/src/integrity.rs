@@ -296,9 +296,9 @@ pub fn with_retries_on<T>(
             Ok(v) => return Ok(v),
             Err(e) => {
                 let backoff = policy.backoff_for(attempt, seed);
-                let within_deadline = policy.deadline.is_none_or(|d| {
-                    clock.now().saturating_sub(start) + backoff <= d
-                });
+                let within_deadline = policy
+                    .deadline
+                    .is_none_or(|d| clock.now().saturating_sub(start) + backoff <= d);
                 let retried = attempt < policy.max_attempts && within_deadline;
                 log.log(FailureRecord {
                     rank,
@@ -364,9 +364,7 @@ pub fn commit_checkpoint(backend: &DynBackend, prefix: &str) -> Result<()> {
 
 /// Whether a checkpoint at `prefix` was committed.
 pub fn is_committed(backend: &DynBackend, prefix: &str) -> Result<bool> {
-    backend
-        .exists(&format!("{prefix}/{COMPLETE_MARKER}"))
-        .map_err(BcpError::Storage)
+    backend.exists(&format!("{prefix}/{COMPLETE_MARKER}")).map_err(BcpError::Storage)
 }
 
 #[cfg(test)]
@@ -434,11 +432,7 @@ mod tests {
         assert!(result.is_err());
         assert_eq!(
             clock.sleeps(),
-            vec![
-                Duration::from_millis(10),
-                Duration::from_millis(20),
-                Duration::from_millis(40),
-            ],
+            vec![Duration::from_millis(10), Duration::from_millis(20), Duration::from_millis(40),],
             "3 sleeps between 4 attempts, doubling from the base"
         );
         assert_eq!(clock.now(), Duration::from_millis(70));
@@ -501,8 +495,11 @@ mod tests {
     #[test]
     fn failover_is_recorded_in_log_and_metrics() {
         let hub = bcp_monitor::MetricsHub::new();
-        let primary: DynBackend =
-            Arc::new(FlakyBackend::new(Arc::new(MemoryBackend::new()), FailureMode::Writes, u32::MAX));
+        let primary: DynBackend = Arc::new(FlakyBackend::new(
+            Arc::new(MemoryBackend::new()),
+            FailureMode::Writes,
+            u32::MAX,
+        ));
         let secondary: DynBackend = Arc::new(MemoryBackend::new());
         let fb = FallbackBackend::with_threshold(primary, secondary, 2);
         let log = Arc::new(FailureLog::new());

@@ -46,18 +46,24 @@ pub mod plan;
 pub mod planner;
 pub mod registry;
 pub mod scrub;
+pub mod spec;
 pub mod telemetry;
 pub mod workflow;
 
-pub use api::{Checkpointer, CheckpointerBuilder, CheckpointerOptions, LoadRequest, SaveRequest};
+pub use api::{
+    Checkpointer, CheckpointerBuilder, LoadOutcome, LoadRequest, LoaderTarget, SaveRequest,
+};
 pub use crashsim::{enumerate_crash_states, CrashState};
 pub use fault::{FaultHook, FaultPlan};
-pub use hottier::{HotTierOptions, TierBreakdown};
+#[allow(deprecated)]
+pub use hottier::HotTierOptions;
+pub use hottier::{HotTierConfig, TierBreakdown};
 pub use manager::QuarantinedStep;
 pub use metadata::{BasicMeta, ByteMeta, GlobalMetadata, ShardMeta, TensorShardEntry};
 pub use plan::{Category, ReadItem, SavePlan, WriteItem};
 pub use registry::BackendRegistry;
 pub use scrub::{scrub_step, scrub_tree, IssueKind, ScrubIssue, ScrubReport};
+pub use spec::{JobQuota, JobSpec, Session};
 
 /// Errors surfaced by the checkpointing system.
 #[derive(Debug)]

@@ -26,8 +26,9 @@ pub fn load_loader_states(
         return Ok(None);
     };
     let rep_bytes = backend.read(&format!("{prefix}/{rep_file}"))?;
-    let replicated = LoaderReplicatedState::unpack(&rep_bytes)
-        .ok_or_else(|| BcpError::Corrupt(format!("unreadable replicated loader file {rep_file}")))?;
+    let replicated = LoaderReplicatedState::unpack(&rep_bytes).ok_or_else(|| {
+        BcpError::Corrupt(format!("unreadable replicated loader file {rep_file}"))
+    })?;
 
     // Reassemble each old DP rank's shard from its per-worker files.
     let mut old: Vec<LoaderShardState> = (0..replicated.dp_size)
@@ -100,8 +101,7 @@ mod tests {
         meta.loader_map.replicated_file = Some("loader/replicated.json".into());
         for shard in shards {
             for (w, reader) in shard.readers.iter().enumerate() {
-                let single =
-                    LoaderShardState {
+                let single = LoaderShardState {
                     dp_rank: shard.dp_rank,
                     readers: vec![reader.clone()],
                     next_worker: shard.next_worker,
@@ -175,9 +175,7 @@ mod tests {
         let rep = replicated(1, 1);
         let dl = Dataloader::new(rep.clone(), 0);
         let meta = store(&backend, "ckpt", &rep, &[dl.shard_state()]);
-        backend
-            .write("ckpt/loader/dp0_w0.json", Bytes::from_static(b"garbage"))
-            .unwrap();
+        backend.write("ckpt/loader/dp0_w0.json", Bytes::from_static(b"garbage")).unwrap();
         assert!(matches!(
             load_loader_states(&backend, "ckpt", &meta, 1, 1, 0),
             Err(BcpError::Corrupt(_))

@@ -71,11 +71,7 @@ impl CheckpointManager {
             .into_iter()
             .map(|step| {
                 let prefix = self.prefix_for(step);
-                Ok(CheckpointRef {
-                    step,
-                    committed: is_committed(&self.backend, &prefix)?,
-                    prefix,
-                })
+                Ok(CheckpointRef { step, committed: is_committed(&self.backend, &prefix)?, prefix })
             })
             .collect()
     }
@@ -210,11 +206,11 @@ mod tests {
         let prefix = format!("{root}/step_{step}");
         backend.write(&format!("{prefix}/model_0.bin"), Bytes::from(vec![0u8; 64])).unwrap();
         let meta = GlobalMetadata::new("ddp", step, "TP=1,DP=1,PP=1", 1);
-        backend
-            .write(&format!("{prefix}/{METADATA_FILE}"), Bytes::from(meta.to_bytes()))
-            .unwrap();
+        backend.write(&format!("{prefix}/{METADATA_FILE}"), Bytes::from(meta.to_bytes())).unwrap();
         if committed {
-            backend.write(&format!("{prefix}/{COMPLETE_MARKER}"), Bytes::from_static(b"ok")).unwrap();
+            backend
+                .write(&format!("{prefix}/{COMPLETE_MARKER}"), Bytes::from_static(b"ok"))
+                .unwrap();
         }
     }
 
@@ -260,8 +256,7 @@ mod tests {
 
     #[test]
     fn gc_torn_deletes_every_uncommitted_step() {
-        let (m, backend) =
-            manager_with(&[(100, true), (150, false), (200, true), (400, false)]);
+        let (m, backend) = manager_with(&[(100, true), (150, false), (200, true), (400, false)]);
         let deleted = m.gc_torn().unwrap();
         // Restart semantics: even the newest uncommitted step goes — the
         // crash means nothing is in flight.

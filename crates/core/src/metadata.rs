@@ -61,7 +61,11 @@ pub struct BasicMeta {
 
 impl BasicMeta {
     /// Construct for a tensor with contiguous row-major layout.
-    pub fn contiguous(dtype: DType, global_shape: Vec<usize>, device: impl Into<String>) -> BasicMeta {
+    pub fn contiguous(
+        dtype: DType,
+        global_shape: Vec<usize>,
+        device: impl Into<String>,
+    ) -> BasicMeta {
         let stride = bcp_tensor::layout::contiguous_strides(&global_shape);
         BasicMeta { dtype, global_shape, stride, device: device.into(), requires_grad: true }
     }
@@ -192,11 +196,12 @@ impl GlobalMetadata {
         let Some(entries) = self.tensor_map.get(fqn) else {
             return Vec::new();
         };
-        let query = ShardMeta { fqn: fqn.to_string(), offsets: offsets.to_vec(), lengths: lengths.to_vec() };
-        entries
-            .iter()
-            .filter_map(|e| e.shard.intersect(&query).map(|i| (e, i)))
-            .collect()
+        let query = ShardMeta {
+            fqn: fqn.to_string(),
+            offsets: offsets.to_vec(),
+            lengths: lengths.to_vec(),
+        };
+        entries.iter().filter_map(|e| e.shard.intersect(&query).map(|i| (e, i))).collect()
     }
 
     /// Total payload bytes across all tensor shards.

@@ -137,18 +137,11 @@ impl ReadItem {
     pub fn fetch_range(&self) -> (u64, u64) {
         let es = self.dtype.size() as u64;
         // Flat element range of the intersection within the stored box.
-        let rel_off: Vec<usize> = self
-            .isect_offsets
-            .iter()
-            .zip(&self.stored_offsets)
-            .map(|(i, s)| i - s)
-            .collect();
+        let rel_off: Vec<usize> =
+            self.isect_offsets.iter().zip(&self.stored_offsets).map(|(i, s)| i - s).collect();
         let first = bcp_tensor::layout::ravel_index(&rel_off, &self.stored_lengths) as u64;
-        let last_coord: Vec<usize> = rel_off
-            .iter()
-            .zip(&self.isect_lengths)
-            .map(|(o, l)| o + l - 1)
-            .collect();
+        let last_coord: Vec<usize> =
+            rel_off.iter().zip(&self.isect_lengths).map(|(o, l)| o + l - 1).collect();
         let last = bcp_tensor::layout::ravel_index(&last_coord, &self.stored_lengths) as u64;
         (self.payload_offset + first * es, (last - first + 1) * es)
     }
@@ -275,7 +268,9 @@ fn plan_dict_reads(
 }
 
 /// Build the tensor section of the global metadata from deduplicated plans.
-pub fn build_tensor_map(plans: &[SavePlan]) -> std::collections::BTreeMap<String, Vec<TensorShardEntry>> {
+pub fn build_tensor_map(
+    plans: &[SavePlan],
+) -> std::collections::BTreeMap<String, Vec<TensorShardEntry>> {
     let mut map: std::collections::BTreeMap<String, Vec<TensorShardEntry>> = Default::default();
     for plan in plans {
         for (item, byte) in plan.items.iter().zip(plan.byte_metas()) {

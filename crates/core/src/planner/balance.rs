@@ -74,10 +74,9 @@ pub fn dedup_save_plans(plans: &mut [SavePlan], strategy: DedupStrategy) -> Dedu
         candidates.dedup();
         let owner = match strategy {
             DedupStrategy::FirstReplica => candidates[0],
-            DedupStrategy::WorstFit => *candidates
-                .iter()
-                .min_by_key(|&&c| (load[c], c))
-                .expect("non-empty candidate set"),
+            DedupStrategy::WorstFit => {
+                *candidates.iter().min_by_key(|&&c| (load[c], c)).expect("non-empty candidate set")
+            }
         };
         duplicates_removed += candidates.len() - 1;
         load[owner] += nbytes;
@@ -140,7 +139,12 @@ pub fn eliminate_redundant_reads(plans: &[LoadPlan]) -> Vec<AssignedLoadPlan> {
 
     let mut out: Vec<AssignedLoadPlan> = plans
         .iter()
-        .map(|p| AssignedLoadPlan { rank: p.rank, reads: Vec::new(), send_to: Vec::new(), recvs: Vec::new() })
+        .map(|p| AssignedLoadPlan {
+            rank: p.rank,
+            reads: Vec::new(),
+            send_to: Vec::new(),
+            recvs: Vec::new(),
+        })
         .collect();
     let mut load = vec![0u64; plans.len()];
     for (_key, members) in ordered {
@@ -151,12 +155,8 @@ pub fn eliminate_redundant_reads(plans: &[LoadPlan]) -> Vec<AssignedLoadPlan> {
         let bytes = members[0].1.fetch_range().1;
         load[reader] += bytes;
         // The reader keeps its own dest version; peers become receivers.
-        let reader_item = members
-            .iter()
-            .find(|(pi, _)| *pi == reader)
-            .expect("reader is a requester")
-            .1
-            .clone();
+        let reader_item =
+            members.iter().find(|(pi, _)| *pi == reader).expect("reader is a requester").1.clone();
         let reader_rank = plans[reader].rank;
         let mut recipients = Vec::new();
         for (pi, item) in &members {
@@ -285,9 +285,8 @@ mod tests {
             dest_lengths: vec![128],
             dest_local_elem_start: 0,
         };
-        let plans: Vec<LoadPlan> = (0..3)
-            .map(|r| LoadPlan { rank: r, items: vec![item.clone()] })
-            .collect();
+        let plans: Vec<LoadPlan> =
+            (0..3).map(|r| LoadPlan { rank: r, items: vec![item.clone()] }).collect();
         let assigned = eliminate_redundant_reads(&plans);
         let total_reads: usize = assigned.iter().map(|a| a.reads.len()).sum();
         assert_eq!(total_reads, 1, "one storage read for three requesters");
@@ -329,7 +328,8 @@ mod tests {
     #[test]
     fn read_balancing_spreads_load() {
         // 4 replicas requesting 8 distinct shards: each rank should read ~2.
-        let mut plans: Vec<LoadPlan> = (0..4).map(|r| LoadPlan { rank: r, items: vec![] }).collect();
+        let mut plans: Vec<LoadPlan> =
+            (0..4).map(|r| LoadPlan { rank: r, items: vec![] }).collect();
         for s in 0..8usize {
             for p in plans.iter_mut() {
                 p.items.push(ReadItem {

@@ -137,7 +137,10 @@ mod tests {
     fn planners_accept_their_own_frameworks_states() {
         let arch = zoo::tiny_gpt();
         let cases: Vec<(Framework, Parallelism)> = vec![
-            (Framework::Megatron { distributed_optimizer: true }, Parallelism::new(2, 2, 2).unwrap()),
+            (
+                Framework::Megatron { distributed_optimizer: true },
+                Parallelism::new(2, 2, 2).unwrap(),
+            ),
             (Framework::Fsdp { zero3: true }, Parallelism::data_parallel(4).unwrap()),
             (Framework::Ddp, Parallelism::data_parallel(2).unwrap()),
             (Framework::VeScale, Parallelism::new(2, 2, 1).unwrap()),

@@ -391,7 +391,10 @@ mod tests {
         let (prefix, shard_file) = build_checkpoint(&b, "job", 10);
         b.delete(&shard_file).unwrap();
         let r = scrub_step(&b, &prefix, 10).unwrap();
-        assert!(r.defects().iter().any(|i| i.kind == IssueKind::MissingFile && i.path == shard_file));
+        assert!(r
+            .defects()
+            .iter()
+            .any(|i| i.kind == IssueKind::MissingFile && i.path == shard_file));
     }
 
     #[test]

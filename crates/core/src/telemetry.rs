@@ -179,8 +179,7 @@ mod tests {
                 std::thread::spawn(move || {
                     let hub = MetricsHub::new();
                     drop(hub.sink().span("save/dump", rank, 5).bytes(128));
-                    let mine =
-                        collect_rank_telemetry(&hub, &FailureLog::new(), rank, 5, "save");
+                    let mine = collect_rank_telemetry(&hub, &FailureLog::new(), rank, 5, "save");
                     persist_step_telemetry(&comm, &backend, "job/step_5", mine, "_telemetry.jsonl")
                 })
             })
@@ -193,8 +192,6 @@ mod tests {
             .expect("artifact written");
         assert_eq!(doc.ranks.len(), 2);
         assert_eq!(doc.step(), Some(5));
-        assert!(read_step_telemetry(&backend, "job/step_9", "_telemetry.jsonl")
-            .unwrap()
-            .is_none());
+        assert!(read_step_telemetry(&backend, "job/step_9", "_telemetry.jsonl").unwrap().is_none());
     }
 }

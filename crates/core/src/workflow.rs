@@ -14,7 +14,7 @@ use crate::engine::load::{execute_load, LoadConfig, LoadStats};
 use crate::engine::pool::PinnedPool;
 use crate::engine::save::{execute_save_staged, HotStaging, SaveConfig, SaveStats};
 use crate::fault::{FaultHook, FaultPlan};
-use crate::hottier::{replicate_after_commit, HotTierOptions, TierBreakdown};
+use crate::hottier::{replicate_after_commit, HotTierConfig, TierBreakdown};
 use crate::integrity::{commit_checkpoint, is_committed, with_retries, FailureLog, FailureRecord};
 use crate::metadata::{
     GlobalMetadata, LoaderMap, LoaderShardFileEntry, COMPLETE_MARKER, METADATA_FILE,
@@ -30,12 +30,14 @@ use crate::{BcpError, Result};
 use bcp_collectives::Communicator;
 use bcp_dataloader::{LoaderReplicatedState, LoaderShardState};
 use bcp_model::{ExtraState, Framework, TrainState};
-use bcp_monitor::{enter_context, MetricsHub, MetricsSink, TELEMETRY_LOAD_FILE, TELEMETRY_SAVE_FILE};
+use bcp_monitor::{
+    enter_context, MetricsHub, MetricsSink, TELEMETRY_LOAD_FILE, TELEMETRY_SAVE_FILE,
+};
 use bcp_storage::hot::HotTier;
 use bcp_storage::{DynBackend, TieredReadBackend};
 use bytes::Bytes;
-use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -85,7 +87,7 @@ pub struct WorkflowOptions {
     /// in-process hot tier and recover through it before the persistent
     /// tree. Must agree across ranks (the replication exchange is a
     /// symmetric collective).
-    pub hot: HotTierOptions,
+    pub hot: HotTierConfig,
 }
 
 impl Default for WorkflowOptions {
@@ -98,7 +100,7 @@ impl Default for WorkflowOptions {
             dedup_reads: true,
             faults: FaultPlan::new(),
             verified_fallback: true,
-            hot: HotTierOptions::default(),
+            hot: HotTierConfig::default(),
         }
     }
 }
@@ -124,7 +126,9 @@ impl SaveTicket {
     /// Wait for the asynchronous tail (upload + barrier + commit).
     pub fn wait(self) -> Result<SaveStats> {
         match self.finalize {
-            Some(h) => h.join().map_err(|_| BcpError::Corrupt("finalize thread panicked".into()))?,
+            Some(h) => {
+                h.join().map_err(|_| BcpError::Corrupt("finalize thread panicked".into()))?
+            }
             None => Ok(self.sync_stats.expect("sync stats")),
         }
     }
@@ -203,19 +207,10 @@ pub fn save_checkpoint_hot(
         .attr("backend", backend.name());
 
     // ---- Planning (Fig. 8 steps 2-4, save direction), cache-aware. ----
-    let sig = PlanCache::signature(
-        planner.name(),
-        &ctx.parallelism.describe(),
-        rank,
-        args.state,
-    );
+    let sig = PlanCache::signature(planner.name(), &ctx.parallelism.describe(), rank, args.state);
     let cached: Option<Arc<CachedSave>> = if options.plan_cache { cache.get(sig) } else { None };
     // All ranks must agree on the cache path or the collectives deadlock.
-    let all_hit = ctx
-        .comm
-        .all_gather(cached.is_some() as u8)?
-        .into_iter()
-        .all(|h| h == 1);
+    let all_hit = ctx.comm.all_gather(cached.is_some() as u8)?.into_iter().all(|h| h == 1);
 
     let (final_plan, metadata): (SavePlan, Option<GlobalMetadata>) = if all_hit {
         let c = cached.expect("all_hit implies local hit");
@@ -302,8 +297,9 @@ pub fn save_checkpoint_hot(
     let prefix2 = prefix.to_string();
     let retries = options.save.retries;
     let io2 = io.clone();
-    let hot_opts = options.hot.clone();
-    let finalize = move || -> Result<SaveStats> {
+    let hot_opts = options.hot;
+    let comm_abort = ctx.comm.clone();
+    let finalize_inner = move || -> Result<SaveStats> {
         let mut root = root;
         // Upload dataloader shard files concurrently ("we implemented a
         // process pool for concurrent uploads", §6.4) and the extra state.
@@ -351,9 +347,8 @@ pub fn save_checkpoint_hot(
         }
         if rank == coordinator {
             faults.check("save/metadata")?;
-            let meta = metadata.ok_or_else(|| {
-                BcpError::Plan("coordinator lost the metadata template".into())
-            })?;
+            let meta = metadata
+                .ok_or_else(|| BcpError::Plan("coordinator lost the metadata template".into()))?;
             let meta_path = format!("{prefix2}/{METADATA_FILE}");
             let meta_bytes = Bytes::from(meta.to_bytes());
             {
@@ -425,6 +420,16 @@ pub fn save_checkpoint_hot(
         comm.barrier()?;
         Ok(stats)
     };
+    // Failure propagation (mirror of the load side): a rank whose finalize
+    // tail aborts will never reach the barriers or post its replication
+    // messages, so declare it dead rather than leave peers waiting.
+    let finalize = move || -> Result<SaveStats> {
+        let result = finalize_inner();
+        if result.is_err() {
+            comm_abort.mark_self_failed();
+        }
+        result
+    };
 
     if options.save.async_upload {
         let join = std::thread::Builder::new()
@@ -472,10 +477,7 @@ fn build_loader_payloads(
             readers: vec![reader.clone()],
             next_worker: shard.next_worker,
         };
-        out.push((
-            format!("loader/dp{}_w{w}.json", shard.dp_rank),
-            Bytes::from(single.pack()),
-        ));
+        out.push((format!("loader/dp{}_w{w}.json", shard.dp_rank), Bytes::from(single.pack())));
     }
     // Replicated states: saved only by the coordinator's worker.
     if ctx.rank() == ctx.coordinator() {
@@ -539,10 +541,35 @@ pub fn load_checkpoint_tiered(
     telemetry: Option<Arc<MetricsHub>>,
     tier: Option<TierOverlay>,
 ) -> Result<LoadReport> {
+    let result = load_tiered_inner(
+        ctx, backend, prefix, state, options, io, sink, log, step_hint, telemetry, tier,
+    );
+    if result.is_err() {
+        // Failure propagation: a rank aborting a collective load leaves
+        // peers blocked on exchanges and forwards it will never complete.
+        // Declare this rank dead so their collectives abort with
+        // `PeerFailed` instead of riding out the timeout.
+        ctx.comm.mark_self_failed();
+    }
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn load_tiered_inner(
+    ctx: &JobContext,
+    backend: DynBackend,
+    prefix: &str,
+    state: &mut TrainState,
+    options: &WorkflowOptions,
+    io: &Arc<IoPool>,
+    sink: &MetricsSink,
+    log: Arc<FailureLog>,
+    step_hint: u64,
+    telemetry: Option<Arc<MetricsHub>>,
+    tier: Option<TierOverlay>,
+) -> Result<LoadReport> {
     let (tiered, fallbacks) = match tier {
-        Some((map, fb)) => {
-            (Some(Arc::new(TieredReadBackend::new(map, backend.clone()))), fb)
-        }
+        Some((map, fb)) => (Some(Arc::new(TieredReadBackend::new(map, backend.clone()))), fb),
         None => (None, Vec::new()),
     };
     let backend: DynBackend = match &tiered {

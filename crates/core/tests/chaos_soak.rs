@@ -19,11 +19,12 @@ use bcp_core::api::{Checkpointer, SaveRequest};
 use bcp_core::fault::FaultPlan;
 use bcp_core::integrity::RetryPolicy;
 use bcp_core::registry::BackendRegistry;
+use bcp_core::HotTierConfig;
 use bcp_model::states::{build_train_state, Framework};
 use bcp_model::{zoo, TrainState, TrainerConfig};
 use bcp_storage::flaky::{FailureMode, FlakyBackend};
 use bcp_storage::uri::Scheme;
-use bcp_storage::{DynBackend, HotTier, MemoryBackend, StorageBackend};
+use bcp_storage::{DynBackend, HotTier, MemoryBackend};
 use bcp_topology::Parallelism;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -50,14 +51,11 @@ fn reference_state(rank: usize, steps: u64) -> TrainState {
 }
 
 fn assert_states_bitwise_eq(got: &TrainState, want: &TrainState, rank: usize, ctx: &str) {
-    for (dict_name, got_d, want_d) in [
-        ("model", &got.model, &want.model),
-        ("optimizer", &got.optimizer, &want.optimizer),
-    ] {
+    for (dict_name, got_d, want_d) in
+        [("model", &got.model, &want.model), ("optimizer", &got.optimizer, &want.optimizer)]
+    {
         for (fqn, w) in &want_d.entries {
-            let g = got_d
-                .get(fqn)
-                .unwrap_or_else(|| panic!("{ctx}: rank {rank} missing {fqn}"));
+            let g = got_d.get(fqn).unwrap_or_else(|| panic!("{ctx}: rank {rank} missing {fqn}"));
             assert!(
                 g.tensor.bitwise_eq(&w.tensor),
                 "{ctx}: rank {rank} {dict_name} {fqn} differs from reference"
@@ -128,9 +126,12 @@ where
                     .fault_plan(plan)
                     .retry_policy(RetryPolicy::exponential(3, Duration::from_millis(2)))
                     .hot_tier_handle(tier)
-                    .hot_tier_layout(GPUS_PER_HOST)
-                    .hot_tier_replicas(1)
-                    .hot_tier_capacity(2)
+                    .hot_tier(
+                        HotTierConfig::enabled()
+                            .gpus_per_host(GPUS_PER_HOST)
+                            .replicas(1)
+                            .capacity_steps(2),
+                    )
                     .build()
                     .unwrap();
                 f(rank, ckpt)
@@ -252,11 +253,7 @@ fn run_soak(cluster: &Cluster, cycles: usize, seed: u64) {
             TrainerConfig::default().run(&mut state, resumed, 1);
             let target = resumed + 1;
             let save = ckpt
-                .save(&SaveRequest::new(
-                    format!("mem://jobs/train/step_{target}"),
-                    &state,
-                    target,
-                ))
+                .save(&SaveRequest::new(format!("mem://jobs/train/step_{target}"), &state, target))
                 .and_then(|t| t.wait());
             if let Err(e) = save {
                 report.save_err = Some(e.to_string());
@@ -358,9 +355,7 @@ fn run_soak(cluster: &Cluster, cycles: usize, seed: u64) {
                     "cycle 4: rank 1's shard files must fall through to the cold tree"
                 );
                 assert!(
-                    reports
-                        .iter()
-                        .any(|r| r.fallbacks.iter().any(|f| f.contains("rank 1"))),
+                    reports.iter().any(|r| r.fallbacks.iter().any(|f| f.contains("rank 1"))),
                     "cycle 4: the fallback reason must name the lost source"
                 );
             }
@@ -392,10 +387,7 @@ fn run_soak(cluster: &Cluster, cycles: usize, seed: u64) {
         "at least one recovery must be served >= 90% from the hot tier"
     );
     let last = committed.expect("the soak must commit progress");
-    assert!(
-        last >= 5,
-        "monotone progress: the scenario ladder alone commits 5+ steps, got {last}"
-    );
+    assert!(last >= 5, "monotone progress: the scenario ladder alone commits 5+ steps, got {last}");
 }
 
 /// The full soak: 34 seeded kill/recover cycles (>= 30 per the acceptance

@@ -37,7 +37,9 @@ fn valid_metadata_bytes() -> Vec<u8> {
 }
 
 /// Accept only the documented outcomes of a frame decode.
-fn assert_total(result: bcp_core::Result<Vec<bcp_core::format::Frame>>) -> Result<(), TestCaseError> {
+fn assert_total(
+    result: bcp_core::Result<Vec<bcp_core::format::Frame>>,
+) -> Result<(), TestCaseError> {
     match result {
         Ok(_) => Ok(()),
         Err(BcpError::Corrupt(_)) => Ok(()),

@@ -50,14 +50,11 @@ fn reference_state(rank: usize, steps: u64) -> TrainState {
 }
 
 fn assert_states_bitwise_eq(got: &TrainState, want: &TrainState, rank: usize, ctx: &str) {
-    for (dict_name, got_d, want_d) in [
-        ("model", &got.model, &want.model),
-        ("optimizer", &got.optimizer, &want.optimizer),
-    ] {
+    for (dict_name, got_d, want_d) in
+        [("model", &got.model, &want.model), ("optimizer", &got.optimizer, &want.optimizer)]
+    {
         for (fqn, w) in &want_d.entries {
-            let g = got_d
-                .get(fqn)
-                .unwrap_or_else(|| panic!("{ctx}: rank {rank} missing {fqn}"));
+            let g = got_d.get(fqn).unwrap_or_else(|| panic!("{ctx}: rank {rank} missing {fqn}"));
             assert!(
                 g.tensor.bitwise_eq(&w.tensor),
                 "{ctx}: rank {rank} {dict_name} {fqn} differs from reference"
@@ -124,20 +121,14 @@ fn every_crash_state_recovers_to_a_committed_verified_step() {
     // enumerated crash state contains a committed step to fall back to.
     run_world(registry.clone(), move |rank, ckpt| {
         let state = reference_state(rank, 1);
-        ckpt.save(&SaveRequest::new("mem://jobs/train/step_1", &state, 1))
-            .unwrap()
-            .wait()
-            .unwrap();
+        ckpt.save(&SaveRequest::new("mem://jobs/train/step_1", &state, 1)).unwrap().wait().unwrap();
     });
     journal.rebase().unwrap();
 
     // Step 2 is recorded op by op.
     run_world(registry, move |rank, ckpt| {
         let state = reference_state(rank, 2);
-        ckpt.save(&SaveRequest::new("mem://jobs/train/step_2", &state, 2))
-            .unwrap()
-            .wait()
-            .unwrap();
+        ckpt.save(&SaveRequest::new("mem://jobs/train/step_2", &state, 2)).unwrap().wait().unwrap();
     });
 
     let ops = journal.ops();
@@ -171,9 +162,7 @@ fn every_crash_state_recovers_to_a_committed_verified_step() {
         }
     }
     assert!(
-        states
-            .iter()
-            .any(|s| s.torn_cut.is_some() && s.label.contains(COMPLETE_MARKER)),
+        states.iter().any(|s| s.torn_cut.is_some() && s.label.contains(COMPLETE_MARKER)),
         "the torn-COMPLETE-marker state must be in the matrix"
     );
 
@@ -256,12 +245,8 @@ fn bit_flipped_newest_step_is_quarantined_and_previous_step_loads() {
             .expect("step 1 must survive the fallback");
         let want = reference_state(rank, 1);
         assert_states_bitwise_eq(&target, &want, rank, "verified fallback");
-        let verify_failures = ckpt
-            .failures()
-            .records()
-            .iter()
-            .filter(|r| r.stage == "load/verify")
-            .count();
+        let verify_failures =
+            ckpt.failures().records().iter().filter(|r| r.stage == "load/verify").count();
         (out.resumed_step(), out.fell_back(), out.quarantined.clone(), verify_failures)
     });
 

@@ -5,12 +5,12 @@
 //! arrival order. Restored state must likewise be identical across load
 //! configurations (overlapped vs sequential, any thread count).
 
+use bcp_collectives::{Backend, CommWorld};
 use bcp_core::api::{Checkpointer, LoadRequest, SaveRequest};
 use bcp_core::engine::load::LoadConfig;
 use bcp_core::engine::save::SaveConfig;
 use bcp_core::registry::BackendRegistry;
 use bcp_core::workflow::WorkflowOptions;
-use bcp_collectives::{Backend, CommWorld};
 use bcp_model::states::{build_train_state, Framework};
 use bcp_model::{zoo, TrainState, TrainerConfig};
 use bcp_storage::uri::Scheme;
@@ -31,7 +31,8 @@ fn memory_registry() -> (Arc<BackendRegistry>, DynBackend) {
 
 fn trained_state(rank: usize) -> TrainState {
     let par = Parallelism::data_parallel(WORLD).unwrap();
-    let mut s = build_train_state(&zoo::tiny_gpt(), Framework::Fsdp { zero3: true }, par, rank, true);
+    let mut s =
+        build_train_state(&zoo::tiny_gpt(), Framework::Fsdp { zero3: true }, par, rank, true);
     TrainerConfig::default().run(&mut s, 0, STEPS);
     s
 }
@@ -127,15 +128,14 @@ fn assert_file_maps_identical(
 ) {
     // Same listing modulo the per-variant prefix...
     let strip = |m: &BTreeMap<String, Vec<u8>>| -> Vec<String> {
-        m.keys().map(|k| k.splitn(2, '/').nth(1).unwrap_or(k).to_string()).collect()
+        m.keys()
+            .map(|k| k.split_once('/').map_or(k.as_str(), |(_, rest)| rest).to_string())
+            .collect()
     };
     assert_eq!(strip(reference), strip(got), "{variant}: file listings differ");
     // ... and byte-identical contents file by file.
     for ((ref_path, ref_bytes), (got_path, got_bytes)) in reference.iter().zip(got.iter()) {
-        assert_eq!(
-            ref_bytes, got_bytes,
-            "{variant}: {got_path} differs from reference {ref_path}"
-        );
+        assert_eq!(ref_bytes, got_bytes, "{variant}: {got_path} differs from reference {ref_path}");
     }
 }
 
@@ -183,10 +183,9 @@ fn restored_state_is_identical_across_load_configurations() {
         let want = trained_state(rank);
         for (tag, states) in &restored {
             let got = &states[rank];
-            for (dict_name, got_d, want_d) in [
-                ("model", &got.model, &want.model),
-                ("optimizer", &got.optimizer, &want.optimizer),
-            ] {
+            for (dict_name, got_d, want_d) in
+                [("model", &got.model, &want.model), ("optimizer", &got.optimizer, &want.optimizer)]
+            {
                 for (fqn, w) in &want_d.entries {
                     let g = got_d.get(fqn).unwrap_or_else(|| panic!("{tag} rank {rank}: {fqn}"));
                     assert!(

@@ -3,11 +3,11 @@
 //! verification of every resharding path (the paper's §6.3 check, made
 //! element-exact by the deterministic trainer).
 
+use bcp_collectives::{Backend, CommWorld};
 use bcp_core::api::{Checkpointer, LoadRequest, SaveRequest};
 use bcp_core::planner::balance::DedupStrategy;
 use bcp_core::registry::BackendRegistry;
 use bcp_core::workflow::WorkflowOptions;
-use bcp_collectives::{Backend, CommWorld};
 use bcp_model::states::{build_train_state, Framework};
 use bcp_model::{zoo, TrainState, TrainerConfig};
 use bcp_storage::uri::Scheme;
@@ -17,7 +17,13 @@ use std::sync::Arc;
 
 /// Spawn one thread per rank, each constructing a Checkpointer over a shared
 /// world + registry, and run `f`.
-fn run_ranks<F, T>(world: usize, registry: Arc<BackendRegistry>, fw: Framework, par: Parallelism, f: F) -> Vec<T>
+fn run_ranks<F, T>(
+    world: usize,
+    registry: Arc<BackendRegistry>,
+    fw: Framework,
+    par: Parallelism,
+    f: F,
+) -> Vec<T>
 where
     F: Fn(usize, Checkpointer) -> T + Send + Sync + 'static,
     T: Send + 'static,
@@ -68,10 +74,9 @@ fn reference_state(
 }
 
 fn assert_states_bitwise_eq(got: &TrainState, want: &TrainState, rank: usize) {
-    for (dict_name, got_d, want_d) in [
-        ("model", &got.model, &want.model),
-        ("optimizer", &got.optimizer, &want.optimizer),
-    ] {
+    for (dict_name, got_d, want_d) in
+        [("model", &got.model, &want.model), ("optimizer", &got.optimizer, &want.optimizer)]
+    {
         assert_eq!(
             got_d.entries.len(),
             want_d.entries.len(),
@@ -254,9 +259,7 @@ fn uncommitted_checkpoint_is_rejected() {
     mem.delete("torn/COMPLETE").unwrap();
     let results = run_ranks(1, registry, Framework::Ddp, par, move |_rank, ckpt| {
         let mut state = build_train_state(&arch, Framework::Ddp, par, 0, true);
-        ckpt.load(&mut LoadRequest::new("mem://t/torn", &mut state))
-            .err()
-            .map(|e| e.to_string())
+        ckpt.load(&mut LoadRequest::new("mem://t/torn", &mut state)).err().map(|e| e.to_string())
     });
     let err = results[0].clone().expect("load must fail");
     assert!(err.contains("COMPLETE"), "{err}");
@@ -334,10 +337,7 @@ fn first_replica_baseline_also_round_trips() {
                 .build()
                 .unwrap();
             let state = reference_state(&zoo::tiny_gpt(), Framework::Ddp, par, rank, 2);
-            ckpt.save(&SaveRequest::new("mem://t/baseline", &state, 2))
-                .unwrap()
-                .wait()
-                .unwrap();
+            ckpt.save(&SaveRequest::new("mem://t/baseline", &state, 2)).unwrap().wait().unwrap();
             let mut fresh = build_train_state(&zoo::tiny_gpt(), Framework::Ddp, par, rank, true);
             ckpt.load(&mut LoadRequest::new("mem://t/baseline", &mut fresh)).unwrap();
             let want = reference_state(&zoo::tiny_gpt(), Framework::Ddp, par, rank, 2);

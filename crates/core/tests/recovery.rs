@@ -43,14 +43,11 @@ fn reference_state(rank: usize, steps: u64) -> TrainState {
 }
 
 fn assert_states_bitwise_eq(got: &TrainState, want: &TrainState, rank: usize, ctx: &str) {
-    for (dict_name, got_d, want_d) in [
-        ("model", &got.model, &want.model),
-        ("optimizer", &got.optimizer, &want.optimizer),
-    ] {
+    for (dict_name, got_d, want_d) in
+        [("model", &got.model, &want.model), ("optimizer", &got.optimizer, &want.optimizer)]
+    {
         for (fqn, w) in &want_d.entries {
-            let g = got_d
-                .get(fqn)
-                .unwrap_or_else(|| panic!("{ctx}: rank {rank} missing {fqn}"));
+            let g = got_d.get(fqn).unwrap_or_else(|| panic!("{ctx}: rank {rank} missing {fqn}"));
             assert!(
                 g.tensor.bitwise_eq(&w.tensor),
                 "{ctx}: rank {rank} {dict_name} {fqn} differs from reference"
@@ -121,17 +118,14 @@ fn crash_at_every_save_stage_never_commits_and_auto_resumes() {
         // Step 2: the victim dies mid-save. Every rank must error — the
         // victim with the injected crash, its peers via `PeerFailed`
         // collectives — and the step must never commit.
-        let errs = run_world(
-            registry.clone(),
-            FaultPlan::new().kill(victim, stage),
-            move |rank, ckpt| {
+        let errs =
+            run_world(registry.clone(), FaultPlan::new().kill(victim, stage), move |rank, ckpt| {
                 let state = reference_state(rank, 2);
                 ckpt.save(&SaveRequest::new("mem://jobs/train/step_2", &state, 2))
                     .and_then(|t| t.wait())
                     .err()
                     .map(|e| e.to_string())
-            },
-        );
+            });
         for (rank, err) in errs.iter().enumerate() {
             assert!(err.is_some(), "{stage}: rank {rank} must observe the failure");
         }
@@ -172,23 +166,17 @@ fn crash_at_every_load_stage_leaves_checkpoint_loadable() {
     let (registry, _mem) = memory_registry();
     run_world(registry.clone(), FaultPlan::new(), move |rank, ckpt| {
         let state = reference_state(rank, 1);
-        ckpt.save(&SaveRequest::new("mem://jobs/train/step_1", &state, 1))
-            .unwrap()
-            .wait()
-            .unwrap();
+        ckpt.save(&SaveRequest::new("mem://jobs/train/step_1", &state, 1)).unwrap().wait().unwrap();
     });
 
     for &stage in LOAD_STAGES {
-        let errs = run_world(
-            registry.clone(),
-            FaultPlan::new().kill(1, stage),
-            move |rank, ckpt| {
+        let errs =
+            run_world(registry.clone(), FaultPlan::new().kill(1, stage), move |rank, ckpt| {
                 let mut state = build_train_state(&zoo::tiny_gpt(), fw(), par(), rank, true);
                 ckpt.load(&mut LoadRequest::new("mem://jobs/train/step_1", &mut state))
                     .err()
                     .map(|e| e.to_string())
-            },
-        );
+            });
         for (rank, err) in errs.iter().enumerate() {
             assert!(err.is_some(), "{stage}: rank {rank} must observe the failure");
         }
@@ -218,23 +206,16 @@ fn peer_death_mid_load_aborts_survivors_promptly() {
     let (registry, _mem) = memory_registry();
     run_world(registry.clone(), FaultPlan::new(), move |rank, ckpt| {
         let state = reference_state(rank, 1);
-        ckpt.save(&SaveRequest::new("mem://jobs/train/step_1", &state, 1))
-            .unwrap()
-            .wait()
-            .unwrap();
+        ckpt.save(&SaveRequest::new("mem://jobs/train/step_1", &state, 1)).unwrap().wait().unwrap();
     });
 
     let started = std::time::Instant::now();
-    let errs = run_world(
-        registry,
-        FaultPlan::new().kill(1, "load/read"),
-        move |rank, ckpt| {
-            let mut state = build_train_state(&zoo::tiny_gpt(), fw(), par(), rank, true);
-            ckpt.load(&mut LoadRequest::new("mem://jobs/train/step_1", &mut state))
-                .err()
-                .map(|e| e.to_string())
-        },
-    );
+    let errs = run_world(registry, FaultPlan::new().kill(1, "load/read"), move |rank, ckpt| {
+        let mut state = build_train_state(&zoo::tiny_gpt(), fw(), par(), rank, true);
+        ckpt.load(&mut LoadRequest::new("mem://jobs/train/step_1", &mut state))
+            .err()
+            .map(|e| e.to_string())
+    });
     let elapsed = started.elapsed();
     for (rank, err) in errs.iter().enumerate() {
         assert!(err.is_some(), "rank {rank} must observe the mid-load failure");
@@ -251,10 +232,7 @@ fn load_latest_on_empty_root_is_a_fresh_start() {
     let (registry, _mem) = memory_registry();
     run_world(registry, FaultPlan::new(), move |rank, ckpt| {
         let mut state = build_train_state(&zoo::tiny_gpt(), fw(), par(), rank, true);
-        assert!(ckpt
-            .load_latest("mem://jobs/untouched", &mut state, None)
-            .unwrap()
-            .is_none());
+        assert!(ckpt.load_latest("mem://jobs/untouched", &mut state, None).unwrap().is_none());
         rank
     });
 }
@@ -288,10 +266,7 @@ fn degraded_primary_fails_over_and_is_recorded() {
     // secondary tier.
     run_world(registry.clone(), FaultPlan::new(), move |rank, ckpt| {
         let state = reference_state(rank, 1);
-        ckpt.save(&SaveRequest::new("mem://prod/job/step_1", &state, 1))
-            .unwrap()
-            .wait()
-            .unwrap();
+        ckpt.save(&SaveRequest::new("mem://prod/job/step_1", &state, 1)).unwrap().wait().unwrap();
     });
 
     assert!(fallback.is_degraded(), "dead primary must trip the wrapper");

@@ -53,20 +53,11 @@ impl Dataloader {
                 )
             })
             .collect();
-        Dataloader {
-            replicated,
-            dp_rank,
-            readers,
-            next_worker: 0,
-            prefetch_queue: VecDeque::new(),
-        }
+        Dataloader { replicated, dp_rank, readers, next_worker: 0, prefetch_queue: VecDeque::new() }
     }
 
     /// Rebuild a dataloader from checkpointed states (after resharding).
-    pub fn from_states(
-        replicated: LoaderReplicatedState,
-        shard: LoaderShardState,
-    ) -> Dataloader {
+    pub fn from_states(replicated: LoaderReplicatedState, shard: LoaderShardState) -> Dataloader {
         Dataloader {
             replicated,
             dp_rank: shard.dp_rank,

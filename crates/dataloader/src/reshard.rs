@@ -46,8 +46,7 @@ pub fn reshard_states(
     }
 
     let num_sources = replicated.sources.len();
-    let old_readers: Vec<&ReaderState> =
-        shards.iter().flat_map(|s| s.readers.iter()).collect();
+    let old_readers: Vec<&ReaderState> = shards.iter().flat_map(|s| s.readers.iter()).collect();
 
     // Per source: merge every reader's progress into (frontier, exceptions).
     let mut merged: Vec<(u64, Vec<u64>)> = Vec::with_capacity(num_sources);

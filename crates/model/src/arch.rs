@@ -117,16 +117,46 @@ impl TransformerConfig {
         // Input side.
         match self.kind {
             ArchKind::Gpt => {
-                out.push(p("embedding.word.weight".into(), vec![self.vocab, h], TpRole::Vocab, StageHint::First));
+                out.push(p(
+                    "embedding.word.weight".into(),
+                    vec![self.vocab, h],
+                    TpRole::Vocab,
+                    StageHint::First,
+                ));
             }
             ArchKind::DiT => {
-                out.push(p("patch_embed.proj.weight".into(), vec![h, self.vocab], TpRole::Replicated, StageHint::First));
-                out.push(p("patch_embed.proj.bias".into(), vec![h], TpRole::Replicated, StageHint::First));
-                out.push(p("timestep_mlp.fc1.weight".into(), vec![ffn, h], TpRole::Column, StageHint::First));
-                out.push(p("timestep_mlp.fc2.weight".into(), vec![h, ffn], TpRole::Row, StageHint::First));
+                out.push(p(
+                    "patch_embed.proj.weight".into(),
+                    vec![h, self.vocab],
+                    TpRole::Replicated,
+                    StageHint::First,
+                ));
+                out.push(p(
+                    "patch_embed.proj.bias".into(),
+                    vec![h],
+                    TpRole::Replicated,
+                    StageHint::First,
+                ));
+                out.push(p(
+                    "timestep_mlp.fc1.weight".into(),
+                    vec![ffn, h],
+                    TpRole::Column,
+                    StageHint::First,
+                ));
+                out.push(p(
+                    "timestep_mlp.fc2.weight".into(),
+                    vec![h, ffn],
+                    TpRole::Row,
+                    StageHint::First,
+                ));
             }
             ArchKind::ViT => {
-                out.push(p("patch_embed.proj.weight".into(), vec![h, self.vocab], TpRole::Replicated, StageHint::First));
+                out.push(p(
+                    "patch_embed.proj.weight".into(),
+                    vec![h, self.vocab],
+                    TpRole::Replicated,
+                    StageHint::First,
+                ));
                 out.push(p("cls_token".into(), vec![1, h], TpRole::Replicated, StageHint::First));
                 out.push(p("pos_embed".into(), vec![257, h], TpRole::Replicated, StageHint::First));
             }
@@ -153,8 +183,18 @@ impl TransformerConfig {
                     tp: TpRole::Replicated,
                     stage: s,
                 });
-                out.push(p(format!("{pre}.moe.experts.up.weight"), vec![self.num_experts, ffn, h], TpRole::Expert, s));
-                out.push(p(format!("{pre}.moe.experts.down.weight"), vec![self.num_experts, h, ffn], TpRole::Expert, s));
+                out.push(p(
+                    format!("{pre}.moe.experts.up.weight"),
+                    vec![self.num_experts, ffn, h],
+                    TpRole::Expert,
+                    s,
+                ));
+                out.push(p(
+                    format!("{pre}.moe.experts.down.weight"),
+                    vec![self.num_experts, h, ffn],
+                    TpRole::Expert,
+                    s,
+                ));
             } else {
                 out.push(p(format!("{pre}.mlp.up.weight"), vec![ffn, h], TpRole::Column, s));
                 out.push(p(format!("{pre}.mlp.up.bias"), vec![ffn], TpRole::Column, s));
@@ -180,13 +220,28 @@ impl TransformerConfig {
         out.push(p("final_ln.bias".into(), vec![h], TpRole::Replicated, StageHint::Last));
         match self.kind {
             ArchKind::Gpt => {
-                out.push(p("lm_head.weight".into(), vec![self.vocab, h], TpRole::Vocab, StageHint::Last));
+                out.push(p(
+                    "lm_head.weight".into(),
+                    vec![self.vocab, h],
+                    TpRole::Vocab,
+                    StageHint::Last,
+                ));
             }
             ArchKind::DiT => {
-                out.push(p("final_proj.weight".into(), vec![self.vocab, h], TpRole::Replicated, StageHint::Last));
+                out.push(p(
+                    "final_proj.weight".into(),
+                    vec![self.vocab, h],
+                    TpRole::Replicated,
+                    StageHint::Last,
+                ));
             }
             ArchKind::ViT => {
-                out.push(p("head.weight".into(), vec![1000, h], TpRole::Replicated, StageHint::Last));
+                out.push(p(
+                    "head.weight".into(),
+                    vec![1000, h],
+                    TpRole::Replicated,
+                    StageHint::Last,
+                ));
             }
         }
         out

@@ -56,7 +56,9 @@ impl ExtraState {
     /// Draw the next RNG value (SplitMix64 counter mode), advancing the
     /// counter. Checkpointing the counter resumes the stream exactly.
     pub fn next_random(&mut self) -> u64 {
-        let v = bcp_tensor::fill::splitmix64(self.rng_seed ^ self.rng_counter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let v = bcp_tensor::fill::splitmix64(
+            self.rng_seed ^ self.rng_counter.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
         self.rng_counter += 1;
         v
     }

@@ -7,10 +7,10 @@
 //! optimization loop: 2-layer MLP regression, Adam, per-rank batch shards,
 //! gradients averaged over the DP group via [`bcp_collectives`].
 
+use crate::states::{StateDict, StateEntry};
 use bcp_collectives::{Communicator, ReduceOp};
 use bcp_tensor::{DType, Tensor};
 use bcp_topology::ShardSpec;
-use crate::states::{StateDict, StateEntry};
 
 /// A 2-layer MLP `out = W2 · tanh(W1·x + b1) + b2` trained with Adam.
 #[derive(Debug, Clone)]
@@ -49,9 +49,7 @@ impl Mlp {
     pub fn new(dim_in: usize, dim_hidden: usize, seed: u64) -> Mlp {
         let n = Self::param_count(dim_in, dim_hidden);
         let scale = (1.0 / dim_in as f32).sqrt();
-        let params = (0..n)
-            .map(|i| bcp_tensor::fill::value_at(seed, i as u64) * scale)
-            .collect();
+        let params = (0..n).map(|i| bcp_tensor::fill::value_at(seed, i as u64) * scale).collect();
         Mlp { dim_in, dim_hidden, params, m: vec![0.0; n], v: vec![0.0; n], t: 0 }
     }
 
@@ -192,7 +190,8 @@ impl Mlp {
     /// Restore model + optimizer from state dicts produced by
     /// [`Mlp::to_state_dicts`] (possibly after a save/load round trip).
     pub fn load_state_dicts(&mut self, model: &StateDict, optim: &StateDict) {
-        self.params = model.get("mlp.flat_params").expect("params entry").tensor.to_f32_vec().expect("f32");
+        self.params =
+            model.get("mlp.flat_params").expect("params entry").tensor.to_f32_vec().expect("f32");
         self.m = optim
             .get("optim.exp_avg.mlp.flat_params")
             .expect("exp_avg entry")
@@ -215,7 +214,10 @@ impl Mlp {
         let eq = |a: &[f32], b: &[f32]| {
             a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
         };
-        self.t == other.t && eq(&self.params, &other.params) && eq(&self.m, &other.m) && eq(&self.v, &other.v)
+        self.t == other.t
+            && eq(&self.params, &other.params)
+            && eq(&self.m, &other.m)
+            && eq(&self.v, &other.v)
     }
 }
 

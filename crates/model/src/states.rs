@@ -222,7 +222,13 @@ fn build_megatron(
             continue;
         }
         let spec = tp_spec(p.tp, par.tp, c.tp);
-        model.insert(make_entry(p.fqn.clone(), p.dtype, p.shape.clone(), spec.clone(), materialize));
+        model.insert(make_entry(
+            p.fqn.clone(),
+            p.dtype,
+            p.shape.clone(),
+            spec.clone(),
+            materialize,
+        ));
         // Optimizer states: fp32, sharded like the param across TP, and —
         // with the distributed optimizer — the TP shard is flattened and
         // split across the DP group (irregular tensors, paper Fig. 7).
@@ -279,7 +285,13 @@ fn build_fsdp(
             let hi = my_end.min(t_end);
             if lo < hi {
                 let spec = ShardSpec::Flat { offset: lo - t_start, length: hi - lo };
-                model.insert(make_entry(p.fqn.clone(), p.dtype, p.shape.clone(), spec, materialize));
+                model.insert(make_entry(
+                    p.fqn.clone(),
+                    p.dtype,
+                    p.shape.clone(),
+                    spec,
+                    materialize,
+                ));
             }
         } else {
             // ZeRO-2: every rank keeps the full parameters.
@@ -347,7 +359,13 @@ fn build_vescale(
     let mut optimizer = StateDict::default();
     for p in arch.params() {
         let spec = tp_spec(p.tp, par.tp, c.tp);
-        model.insert(make_entry(p.fqn.clone(), p.dtype, p.shape.clone(), spec.clone(), materialize));
+        model.insert(make_entry(
+            p.fqn.clone(),
+            p.dtype,
+            p.shape.clone(),
+            spec.clone(),
+            materialize,
+        ));
         for kind in OPTIM_KINDS {
             optimizer.insert(make_entry(
                 optim_fqn(kind, &p.fqn),
@@ -370,8 +388,20 @@ mod tests {
     fn megatron_tp_shards_partition_each_tensor() {
         let arch = zoo::tiny_gpt();
         let par = Parallelism::new(2, 1, 1).unwrap();
-        let s0 = build_train_state(&arch, Framework::Megatron { distributed_optimizer: false }, par, 0, true);
-        let s1 = build_train_state(&arch, Framework::Megatron { distributed_optimizer: false }, par, 1, true);
+        let s0 = build_train_state(
+            &arch,
+            Framework::Megatron { distributed_optimizer: false },
+            par,
+            0,
+            true,
+        );
+        let s1 = build_train_state(
+            &arch,
+            Framework::Megatron { distributed_optimizer: false },
+            par,
+            1,
+            true,
+        );
         let qkv0 = s0.model.get("layers.0.attn.qkv.weight").unwrap();
         let qkv1 = s1.model.get("layers.0.attn.qkv.weight").unwrap();
         let h = arch.hidden;
@@ -479,11 +509,7 @@ mod tests {
         for e in s.model.entries.values() {
             assert_eq!(e.spec, ShardSpec::Replicated);
         }
-        assert!(s
-            .optimizer
-            .entries
-            .values()
-            .all(|e| matches!(e.spec, ShardSpec::Flat { .. })));
+        assert!(s.optimizer.entries.values().all(|e| matches!(e.spec, ShardSpec::Flat { .. })));
     }
 
     #[test]
@@ -491,7 +517,13 @@ mod tests {
         // The core substitution property: the same logical tensor
         // materialized under different shardings agrees on every element.
         let arch = zoo::tiny_gpt();
-        let full = build_train_state(&arch, Framework::Ddp, Parallelism::data_parallel(1).unwrap(), 0, true);
+        let full = build_train_state(
+            &arch,
+            Framework::Ddp,
+            Parallelism::data_parallel(1).unwrap(),
+            0,
+            true,
+        );
         let fw = Framework::Megatron { distributed_optimizer: false };
         let par = Parallelism::new(2, 1, 2).unwrap();
         for r in 0..par.world_size() {
@@ -529,7 +561,13 @@ mod tests {
     #[test]
     fn optimizer_moments_start_at_zero_and_master_mirrors_param() {
         let arch = zoo::tiny_gpt();
-        let s = build_train_state(&arch, Framework::Ddp, Parallelism::data_parallel(1).unwrap(), 0, true);
+        let s = build_train_state(
+            &arch,
+            Framework::Ddp,
+            Parallelism::data_parallel(1).unwrap(),
+            0,
+            true,
+        );
         let p = s.model.get("final_ln.weight").unwrap();
         let m = s.optimizer.get(&optim_fqn("master", "final_ln.weight")).unwrap();
         let ea = s.optimizer.get(&optim_fqn("exp_avg", "final_ln.weight")).unwrap();

@@ -106,8 +106,7 @@ impl TrainerConfig {
                     };
                 })
                 .expect("spec valid");
-            entry.tensor =
-                encode_values(entry.dtype, entry.tensor.shape().to_vec(), &values);
+            entry.tensor = encode_values(entry.dtype, entry.tensor.shape().to_vec(), &values);
         }
     }
 
@@ -147,7 +146,15 @@ mod tests {
     fn training_is_deterministic() {
         let arch = zoo::tiny_gpt();
         let cfg = TrainerConfig::default();
-        let mk = || build_train_state(&arch, Framework::Ddp, Parallelism::data_parallel(1).unwrap(), 0, true);
+        let mk = || {
+            build_train_state(
+                &arch,
+                Framework::Ddp,
+                Parallelism::data_parallel(1).unwrap(),
+                0,
+                true,
+            )
+        };
         let mut a = mk();
         let mut b = mk();
         cfg.run(&mut a, 0, 5);
@@ -163,8 +170,13 @@ mod tests {
         // parallel run must equal the corresponding box of the full run.
         let arch = zoo::tiny_gpt();
         let cfg = TrainerConfig::default();
-        let mut full =
-            build_train_state(&arch, Framework::Ddp, Parallelism::data_parallel(1).unwrap(), 0, true);
+        let mut full = build_train_state(
+            &arch,
+            Framework::Ddp,
+            Parallelism::data_parallel(1).unwrap(),
+            0,
+            true,
+        );
         cfg.run(&mut full, 0, 3);
 
         let par = Parallelism::new(2, 1, 2).unwrap();
@@ -176,11 +188,7 @@ mod tests {
                 let reference = full.model.get(&e.fqn).unwrap();
                 let (off, len) = e.spec.grid_box(&e.global_shape).unwrap();
                 let want = reference.tensor.extract_box(&off, &len).unwrap();
-                assert!(
-                    e.tensor.bitwise_eq(&want),
-                    "rank {r} {} diverged after training",
-                    e.fqn
-                );
+                assert!(e.tensor.bitwise_eq(&want), "rank {r} {} diverged after training", e.fqn);
             }
         }
     }
@@ -190,8 +198,13 @@ mod tests {
         // FSDP flat shards (irregular) must also track the logical tensor.
         let arch = zoo::tiny_gpt();
         let cfg = TrainerConfig::default();
-        let mut full =
-            build_train_state(&arch, Framework::Ddp, Parallelism::data_parallel(1).unwrap(), 0, true);
+        let mut full = build_train_state(
+            &arch,
+            Framework::Ddp,
+            Parallelism::data_parallel(1).unwrap(),
+            0,
+            true,
+        );
         cfg.run(&mut full, 0, 4);
 
         let par = Parallelism::data_parallel(3).unwrap();
@@ -212,8 +225,13 @@ mod tests {
     fn optimizer_moments_become_nonzero_and_distinct_per_step() {
         let arch = zoo::tiny_gpt();
         let cfg = TrainerConfig::default();
-        let mut s =
-            build_train_state(&arch, Framework::Ddp, Parallelism::data_parallel(1).unwrap(), 0, true);
+        let mut s = build_train_state(
+            &arch,
+            Framework::Ddp,
+            Parallelism::data_parallel(1).unwrap(),
+            0,
+            true,
+        );
         cfg.step(&mut s, 0);
         let ea = s.optimizer.get("optim.exp_avg.final_ln.weight").unwrap().tensor.clone();
         assert!(ea.to_f32_vec().unwrap().iter().any(|&v| v != 0.0));

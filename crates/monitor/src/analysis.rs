@@ -127,7 +127,12 @@ pub fn regressions(
         }
         let ratio = cur.as_secs_f64() / mean.as_secs_f64();
         if ratio > factor {
-            out.push(Regression { phase: phase.clone(), current: cur, baseline: mean, factor: ratio });
+            out.push(Regression {
+                phase: phase.clone(),
+                current: cur,
+                baseline: mean,
+                factor: ratio,
+            });
         }
     }
     out.sort_by(|a, b| b.factor.total_cmp(&a.factor));

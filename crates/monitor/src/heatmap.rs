@@ -33,7 +33,11 @@ pub fn render_heatmap(spec: &HeatmapSpec, by_rank: &BTreeMap<usize, Duration>) -
     let mut out = String::new();
     out.push_str(&format!(
         "heatmap rows={} ({}) cols={} ({}), max={:.3}s\n",
-        spec.rows, spec.row_label, spec.cols, spec.col_label, max.as_secs_f64()
+        spec.rows,
+        spec.row_label,
+        spec.cols,
+        spec.col_label,
+        max.as_secs_f64()
     ));
     // Column header.
     out.push_str("      ");
@@ -48,8 +52,8 @@ pub fn render_heatmap(spec: &HeatmapSpec, by_rank: &BTreeMap<usize, Duration>) -
             match by_rank.get(&rank) {
                 Some(d) => {
                     let frac = d.as_secs_f64() / max_s;
-                    let idx = ((frac * (SHADES.len() - 1) as f64).round() as usize)
-                        .min(SHADES.len() - 1);
+                    let idx =
+                        ((frac * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
                     out.push_str(&format!("  {}", SHADES[idx]));
                 }
                 None => out.push_str("  ?"),
@@ -77,13 +81,8 @@ pub fn stragglers(by_rank: &BTreeMap<usize, Duration>, factor: f64) -> Vec<usize
     if by_rank.is_empty() {
         return Vec::new();
     }
-    let mean: f64 =
-        by_rank.values().map(|d| d.as_secs_f64()).sum::<f64>() / by_rank.len() as f64;
-    by_rank
-        .iter()
-        .filter(|(_, d)| d.as_secs_f64() > mean * factor)
-        .map(|(&r, _)| r)
-        .collect()
+    let mean: f64 = by_rank.values().map(|d| d.as_secs_f64()).sum::<f64>() / by_rank.len() as f64;
+    by_rank.iter().filter(|(_, d)| d.as_secs_f64() > mean * factor).map(|(&r, _)| r).collect()
 }
 
 #[cfg(test)]

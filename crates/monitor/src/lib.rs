@@ -31,12 +31,14 @@ pub mod export;
 pub mod heatmap;
 pub mod metrics;
 pub mod span;
+pub mod stats;
 pub mod telemetry;
 
 pub use breakdown::render_breakdown;
 pub use heatmap::{render_heatmap, HeatmapSpec};
 pub use metrics::{MetricRecord, MetricsHub, MetricsSink, TelemetryEvent, TimerGuard};
 pub use span::{enter_context, EnterGuard, SpanContext, SpanEvent, SpanGuard, SpanRecord};
+pub use stats::{LatencyAccumulator, LatencySnapshot};
 pub use telemetry::{
     FailureExcerpt, RankTelemetry, StepTelemetry, TELEMETRY_LOAD_FILE, TELEMETRY_SAVE_FILE,
 };

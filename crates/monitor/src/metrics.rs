@@ -88,7 +88,10 @@ impl MetricsSink {
     /// A sink duplicating every event into each of `sinks` (e.g. the user's
     /// hub plus the checkpointer's private telemetry hub).
     pub fn fanout(sinks: Vec<MetricsSink>) -> MetricsSink {
-        MetricsSink { inner: SinkInner::Fanout(Arc::new(sinks)), dropped: Arc::new(AtomicU64::new(0)) }
+        MetricsSink {
+            inner: SinkInner::Fanout(Arc::new(sinks)),
+            dropped: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// Emit an event. Never blocks: on a full bounded hub (or a hub that is
@@ -252,7 +255,9 @@ impl MetricsHub {
     pub fn records(&self) -> Vec<MetricRecord> {
         self.drain();
         let mut out = self.flat.lock().clone();
-        out.extend(self.span_store.lock().iter().filter(|s| s.counted).map(MetricRecord::from_span));
+        out.extend(
+            self.span_store.lock().iter().filter(|s| s.counted).map(MetricRecord::from_span),
+        );
         out
     }
 
@@ -293,9 +298,7 @@ impl MetricsHub {
     /// single slow write is caught even when its phase total looks healthy.
     pub fn slow_ios(&self, min_bps: f64) -> Vec<MetricRecord> {
         let mut all = self.records();
-        all.extend(
-            self.spans().iter().filter(|s| !s.counted).map(MetricRecord::from_span),
-        );
+        all.extend(self.spans().iter().filter(|s| !s.counted).map(MetricRecord::from_span));
         slow_ios_from(all, min_bps)
     }
 }
@@ -324,10 +327,7 @@ pub fn breakdown_from(records: &[MetricRecord], rank: usize) -> BTreeMap<String,
 
 /// Records from `records` with throughput below `min_bps`.
 pub fn slow_ios_from(records: Vec<MetricRecord>, min_bps: f64) -> Vec<MetricRecord> {
-    records
-        .into_iter()
-        .filter(|r| matches!(r.throughput(), Some(t) if t < min_bps))
-        .collect()
+    records.into_iter().filter(|r| matches!(r.throughput(), Some(t) if t < min_bps)).collect()
 }
 
 #[cfg(test)]

@@ -8,9 +8,7 @@
 //! analysis/export modules consume it long after the training processes are
 //! gone.
 
-use crate::metrics::{
-    breakdown_from, slow_ios_from, total_by_rank_from, MetricRecord,
-};
+use crate::metrics::{breakdown_from, slow_ios_from, total_by_rank_from, MetricRecord};
 use crate::span::SpanRecord;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -92,8 +90,8 @@ impl StepTelemetry {
             if line.trim().is_empty() {
                 continue;
             }
-            let rank: RankTelemetry = serde_json::from_str(line)
-                .map_err(|e| format!("telemetry line {}: {e}", i + 1))?;
+            let rank: RankTelemetry =
+                serde_json::from_str(line).map_err(|e| format!("telemetry line {}: {e}", i + 1))?;
             ranks.push(rank);
         }
         Ok(StepTelemetry { ranks })
@@ -161,7 +159,14 @@ mod tests {
     use super::*;
     use std::collections::BTreeMap as Map;
 
-    fn span(id: u64, parent: Option<u64>, name: &str, rank: usize, ms: u64, counted: bool) -> SpanRecord {
+    fn span(
+        id: u64,
+        parent: Option<u64>,
+        name: &str,
+        rank: usize,
+        ms: u64,
+        counted: bool,
+    ) -> SpanRecord {
         SpanRecord {
             id,
             parent,

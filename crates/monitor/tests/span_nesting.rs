@@ -64,7 +64,7 @@ fn concurrent_nested_save_phases_form_valid_trees() {
 
     // Every non-root span chains up to its own rank's root.
     for span in spans.iter().filter(|s| s.parent.is_some()) {
-        let mut cur = *span;
+        let mut cur: &SpanRecord = span;
         let mut hops = 0;
         while let Some(pid) = cur.parent {
             cur = by_id[&pid];

@@ -213,7 +213,8 @@ mod tests {
             multi_host_fraction: 0.0,
             ..ChaosConfig::default()
         };
-        let shallow = run_chaos(&ChaosConfig { hot_capacity_steps: 1, ..base.clone() }, paper_times());
+        let shallow =
+            run_chaos(&ChaosConfig { hot_capacity_steps: 1, ..base.clone() }, paper_times());
         let deep = run_chaos(&ChaosConfig { hot_capacity_steps: 8, ..base }, paper_times());
         assert!(deep.hot_hit_rate > shallow.hot_hit_rate);
         assert!(deep.ettr_tiered > shallow.ettr_tiered);

@@ -201,7 +201,12 @@ pub fn table5(m: &CostModel) -> TableText {
         let steps = [
             no_optim,
             SystemConfig { name: "Async.", async_pipeline: true, ..no_optim },
-            SystemConfig { name: "Async.+WB.", async_pipeline: true, balanced_dedup: true, ..no_optim },
+            SystemConfig {
+                name: "Async.+WB.",
+                async_pipeline: true,
+                balanced_dedup: true,
+                ..no_optim
+            },
             SystemConfig {
                 name: "Async.+WB.+Cache.",
                 async_pipeline: true,
@@ -278,7 +283,11 @@ pub fn table7(m: &CostModel) -> TableText {
             ag / de
         ));
     }
-    TableText { id: "table7", title: "Table 7: resharding optimization microbenchmark".into(), text }
+    TableText {
+        id: "table7",
+        title: "Table 7: resharding optimization microbenchmark".into(),
+        text,
+    }
 }
 
 /// Table 8: large-scale scalability of ByteCheckpoint.
@@ -293,7 +302,8 @@ pub fn table8(m: &CostModel) -> TableText {
     ];
     for (label, arch, (fw, par), loader_bytes) in cases {
         let w = WorkloadProfile::compute(&arch, fw, par);
-        let env = JobEnv { loader_bytes_per_holder: loader_bytes, loader_workers: 6, first_save: false };
+        let env =
+            JobEnv { loader_bytes_per_holder: loader_bytes, loader_workers: 6, first_save: false };
         let save = simulate_save(m, &w, &SystemConfig::bytecheckpoint(), &env);
         let load = simulate_load(m, &w, &SystemConfig::bytecheckpoint());
         text.push_str(&format!(
@@ -356,15 +366,18 @@ pub fn table1(m: &CostModel) -> TableText {
         startup + down + cpu + up
     };
     let full_70b = {
-        let w = WorkloadProfile::compute(&zoo::tgpt_70b(), megatron(4, 75, 8).0, megatron(4, 75, 8).1);
+        let w =
+            WorkloadProfile::compute(&zoo::tgpt_70b(), megatron(4, 75, 8).0, megatron(4, 75, 8).1);
         (w.total_model_bytes() + w.total_optim_bytes()) as f64
     };
     let model_only_70b = {
-        let w = WorkloadProfile::compute(&zoo::tgpt_70b(), megatron(4, 75, 8).0, megatron(4, 75, 8).1);
+        let w =
+            WorkloadProfile::compute(&zoo::tgpt_70b(), megatron(4, 75, 8).0, megatron(4, 75, 8).1);
         w.total_model_bytes() as f64
     };
     // Online equivalents: load-time resharding of the same state.
-    let dst = WorkloadProfile::compute(&zoo::tgpt_70b(), megatron(4, 150, 8).0, megatron(4, 150, 8).1);
+    let dst =
+        WorkloadProfile::compute(&zoo::tgpt_70b(), megatron(4, 150, 8).0, megatron(4, 150, 8).1);
     let online = simulate_reshard(m, &dst, &SystemConfig::bytecheckpoint()).t_load;
     let rows = [
         ("Training Resumption (full states)", offline(full_70b, 300.0)),
@@ -497,7 +510,11 @@ mod tests {
     #[test]
     fn table8_blocking_stays_subsecond_at_8960_gpus() {
         let m = CostModel::default();
-        let w = WorkloadProfile::compute(&zoo::text_405b(), megatron(8, 70, 16).0, megatron(8, 70, 16).1);
+        let w = WorkloadProfile::compute(
+            &zoo::text_405b(),
+            megatron(8, 70, 16).0,
+            megatron(8, 70, 16).1,
+        );
         let env = JobEnv { loader_bytes_per_holder: 1e9, loader_workers: 6, first_save: false };
         let save = simulate_save(&m, &w, &SystemConfig::bytecheckpoint(), &env);
         assert!(save.t_block < 1.0, "stall {} at 8960 GPUs", save.t_block);
@@ -510,8 +527,11 @@ mod tests {
         let t = table1(&m);
         assert!(t.text.contains("offline"));
         // Structural claim: the offline path takes minutes, online seconds.
-        let dst =
-            WorkloadProfile::compute(&zoo::tgpt_70b(), megatron(4, 150, 8).0, megatron(4, 150, 8).1);
+        let dst = WorkloadProfile::compute(
+            &zoo::tgpt_70b(),
+            megatron(4, 150, 8).0,
+            megatron(4, 150, 8).1,
+        );
         let online = simulate_reshard(&m, &dst, &SystemConfig::bytecheckpoint()).t_load;
         assert!(online < 120.0);
     }
@@ -519,7 +539,17 @@ mod tests {
     #[test]
     fn all_tables_render_nonempty() {
         let m = CostModel::default();
-        for t in [table1(&m), table2(), table3(), table4(&m), table5(&m), table6(&m), table7(&m), table8(&m), table9(&m)] {
+        for t in [
+            table1(&m),
+            table2(),
+            table3(),
+            table4(&m),
+            table5(&m),
+            table6(&m),
+            table7(&m),
+            table8(&m),
+            table9(&m),
+        ] {
             assert!(!t.text.is_empty(), "{} empty", t.id);
             assert!(!t.title.is_empty());
         }

@@ -187,11 +187,10 @@ pub fn simulate_save(
     // Blocking: what stalls training. Async: regularization (sync by
     // definition), capture, loader collection, plus planning when it is not
     // cached (planning is a synchronous collective round).
-    let t_block = t_regularize + t_d2h + t_loader_collect + if sys.plan_cache && !env.first_save {
-        plan_cached
-    } else {
-        t_plan
-    };
+    let t_block = t_regularize
+        + t_d2h
+        + t_loader_collect
+        + if sys.plan_cache && !env.first_save { plan_cached } else { t_plan };
     let t_save = if sys.async_pipeline {
         // Phases overlap: e2e = blocking + pipelined max + barrier.
         t_block + t_serialize.max(t_dump).max(t_upload_straggler) + t_barrier
@@ -242,11 +241,7 @@ pub fn simulate_load(m: &CostModel, w: &WorkloadProfile, sys: &SystemConfig) -> 
 /// the profile of the *destination* configuration; the read amplification
 /// factor accounts for partially-overlapping saved boxes (bounding-range
 /// fetches read some extra bytes when shard boundaries move).
-pub fn simulate_reshard(
-    m: &CostModel,
-    target: &WorkloadProfile,
-    sys: &SystemConfig,
-) -> LoadSim {
+pub fn simulate_reshard(m: &CostModel, target: &WorkloadProfile, sys: &SystemConfig) -> LoadSim {
     simulate_load_inner(m, target, sys, 1.15)
 }
 
@@ -257,11 +252,8 @@ fn simulate_load_inner(
     amplification: f64,
 ) -> LoadSim {
     let world = w.world();
-    let demands: Vec<f64> = w
-        .load_demands(sys.read_dedup)
-        .into_iter()
-        .map(|d| d * amplification)
-        .collect();
+    let demands: Vec<f64> =
+        w.load_demands(sys.read_dedup).into_iter().map(|d| d * amplification).collect();
     let t_plan = m.plan_first_cost(world, w.total_items(), sys.tree_collectives);
     let finish = ps::finish_times(&demands, m.hdfs_read_bw, m.hdfs_aggregate_bw);
     let t_read = finish.iter().cloned().fold(0.0, f64::max);

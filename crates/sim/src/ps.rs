@@ -51,9 +51,7 @@ pub fn finish_times(demands: &[f64], per_flow_cap: f64, bottleneck: f64) -> Vec<
 
 /// Convenience: the last finish time (the straggler).
 pub fn makespan(demands: &[f64], per_flow_cap: f64, bottleneck: f64) -> f64 {
-    finish_times(demands, per_flow_cap, bottleneck)
-        .into_iter()
-        .fold(0.0, f64::max)
+    finish_times(demands, per_flow_cap, bottleneck).into_iter().fold(0.0, f64::max)
 }
 
 #[cfg(test)]

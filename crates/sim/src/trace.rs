@@ -74,8 +74,7 @@ pub fn generate_trace(seed: u64) -> Vec<JobRecord> {
 pub fn aggregate(jobs: &[JobRecord]) -> Vec<(String, u32, u32, f64)> {
     let mut rows: Vec<(String, u32, u32, f64)> = Vec::new();
     for m in paper_marginals() {
-        let mine: Vec<&JobRecord> =
-            jobs.iter().filter(|j| j.framework == m.framework).collect();
+        let mine: Vec<&JobRecord> = jobs.iter().filter(|j| j.framework == m.framework).collect();
         let pre = mine.iter().filter(|j| j.stage == Stage::PreTraining).count() as u32;
         let post = mine.iter().filter(|j| j.stage == Stage::PostTraining).count() as u32;
         let avg = if mine.is_empty() {

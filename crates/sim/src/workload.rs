@@ -83,8 +83,7 @@ impl WorkloadProfile {
                     *per_fqn.entry(item.shard.fqn.as_str()).or_default() += 1;
                 }
                 g.tensors = per_fqn.len() as u64;
-                g.extra_pieces =
-                    per_fqn.values().map(|&c| c.saturating_sub(1)).sum::<u64>();
+                g.extra_pieces = per_fqn.values().map(|&c| c.saturating_sub(1)).sum::<u64>();
                 groups.push(g);
             }
         }
@@ -111,8 +110,7 @@ impl WorkloadProfile {
     /// Total plan items across all ranks (what the first planning round
     /// gathers at the coordinator).
     pub fn total_items(&self) -> u64 {
-        self.groups.iter().map(|g| g.model_items + g.optim_items).sum::<u64>()
-            * self.par.dp as u64
+        self.groups.iter().map(|g| g.model_items + g.optim_items).sum::<u64>() * self.par.dp as u64
     }
 
     /// Bytes one rank holds locally (capture / D2H volume). All DP replicas

@@ -244,8 +244,7 @@ mod tests {
         let bit_b = b.flip_bit_at_rest("s/shard.bin").unwrap();
         assert_eq!(bit_a, bit_b, "same seed + path must flip the same bit");
         let damaged = a.read("s/shard.bin").unwrap();
-        let diff: u32 =
-            payload.iter().zip(damaged.iter()).map(|(x, y)| (x ^ y).count_ones()).sum();
+        let diff: u32 = payload.iter().zip(damaged.iter()).map(|(x, y)| (x ^ y).count_ones()).sum();
         assert_eq!(diff, 1, "exactly one bit differs");
         assert_eq!(a.injected(), 1);
     }

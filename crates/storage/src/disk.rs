@@ -127,7 +127,12 @@ impl StorageBackend for DiskBackend {
         };
         let size = f.metadata().map_err(io_err)?.len();
         if offset + len > size {
-            return Err(StorageError::RangeOutOfBounds { path: path.to_string(), size, offset, len });
+            return Err(StorageError::RangeOutOfBounds {
+                path: path.to_string(),
+                size,
+                offset,
+                len,
+            });
         }
         f.seek(SeekFrom::Start(offset)).map_err(io_err)?;
         let mut buf = vec![0u8; len as usize];

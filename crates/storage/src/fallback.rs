@@ -91,11 +91,7 @@ impl FallbackBackend {
     /// failure either returns the error (letting the caller's retry policy
     /// drive the next attempt) or — when this failure reaches the threshold
     /// — trips the wrapper and completes the operation on the secondary.
-    fn write_op<T>(
-        &self,
-        path: &str,
-        op: impl Fn(&dyn StorageBackend) -> Result<T>,
-    ) -> Result<T> {
+    fn write_op<T>(&self, path: &str, op: impl Fn(&dyn StorageBackend) -> Result<T>) -> Result<T> {
         if self.is_degraded() {
             return op(self.secondary.as_ref());
         }
@@ -215,11 +211,7 @@ mod tests {
     use crate::StorageError;
 
     fn dead_primary(failures: u32) -> DynBackend {
-        Arc::new(FlakyBackend::new(
-            Arc::new(MemoryBackend::new()),
-            FailureMode::Writes,
-            failures,
-        ))
+        Arc::new(FlakyBackend::new(Arc::new(MemoryBackend::new()), FailureMode::Writes, failures))
     }
 
     #[test]
@@ -252,9 +244,7 @@ mod tests {
         assert!(!fb.is_degraded());
 
         // Force the trip via a secondary-only write.
-        primary
-            .write("sentinel", Bytes::from_static(b"s"))
-            .unwrap();
+        primary.write("sentinel", Bytes::from_static(b"s")).unwrap();
         fb.tripped.store(true, Ordering::Release);
         fb.write("post", Bytes::from_static(b"new")).unwrap();
 

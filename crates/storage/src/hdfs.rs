@@ -256,10 +256,7 @@ impl StorageBackend for HdfsBackend {
         vec![
             ("parallel_concat", self.cfg.parallel_concat.to_string()),
             ("nnproxy_cache", self.cfg.nnproxy_cache.to_string()),
-            (
-                "meta_ops",
-                self.namenode.stats.meta_ops.load(Ordering::Relaxed).to_string(),
-            ),
+            ("meta_ops", self.namenode.stats.meta_ops.load(Ordering::Relaxed).to_string()),
         ]
     }
 
@@ -309,7 +306,12 @@ impl StorageBackend for HdfsBackend {
         let obj = objects.get(path).ok_or_else(|| StorageError::NotFound(path.to_string()))?;
         let size = obj.data.len() as u64;
         if offset + len > size {
-            return Err(StorageError::RangeOutOfBounds { path: path.to_string(), size, offset, len });
+            return Err(StorageError::RangeOutOfBounds {
+                path: path.to_string(),
+                size,
+                offset,
+                len,
+            });
         }
         Ok(obj.data.slice(offset as usize..(offset + len) as usize))
     }
@@ -358,11 +360,8 @@ impl StorageBackend for HdfsBackend {
         // Metadata-level merge. Serial mode holds the NameNode-wide lock for
         // the entire operation (the §6.4 bottleneck); parallel mode only
         // pays its own metadata latency.
-        let _guard = if self.cfg.parallel_concat {
-            None
-        } else {
-            Some(self.namenode.concat_lock.lock())
-        };
+        let _guard =
+            if self.cfg.parallel_concat { None } else { Some(self.namenode.concat_lock.lock()) };
         // One metadata op per participating file plus one for the target —
         // concat cost scales with the number of sub-files.
         for _ in 0..=parts.len() {

@@ -322,10 +322,7 @@ mod tests {
         let mut hot = HashMap::new();
         hot.insert("f".to_string(), Bytes::from_static(b"abc"));
         let t = TieredReadBackend::new(hot, cold);
-        assert!(matches!(
-            t.read_range("f", 2, 5),
-            Err(StorageError::RangeOutOfBounds { .. })
-        ));
+        assert!(matches!(t.read_range("f", 2, 5), Err(StorageError::RangeOutOfBounds { .. })));
         assert_eq!(t.size("f").unwrap(), 3);
         assert!(t.exists("f").unwrap());
     }

@@ -182,8 +182,7 @@ impl JournalBackend {
             JournalOp::Concat { parts, .. } => {
                 // Part sizes depend on the state at op `n`; measure them.
                 let mem = self.materialize_prefix(n)?;
-                let lens: Vec<u64> =
-                    parts.iter().map(|p| mem.size(p)).collect::<Result<_>>()?;
+                let lens: Vec<u64> = parts.iter().map(|p| mem.size(p)).collect::<Result<_>>()?;
                 (lens.iter().sum(), lens)
             }
             JournalOp::Delete { .. } | JournalOp::Rename { .. } => return Ok(Vec::new()),
@@ -226,10 +225,9 @@ impl StorageBackend for JournalBackend {
 
     fn write_segments(&self, path: &str, segments: &[Bytes]) -> Result<()> {
         self.inner.write_segments(path, segments)?;
-        self.log.lock().push(JournalOp::WriteSegments {
-            path: path.to_string(),
-            segments: segments.to_vec(),
-        });
+        self.log
+            .lock()
+            .push(JournalOp::WriteSegments { path: path.to_string(), segments: segments.to_vec() });
         Ok(())
     }
 
@@ -239,10 +237,9 @@ impl StorageBackend for JournalBackend {
 
     fn append(&self, path: &str, data: &[u8]) -> Result<()> {
         self.inner.append(path, data)?;
-        self.log.lock().push(JournalOp::Append {
-            path: path.to_string(),
-            data: Bytes::copy_from_slice(data),
-        });
+        self.log
+            .lock()
+            .push(JournalOp::Append { path: path.to_string(), data: Bytes::copy_from_slice(data) });
         Ok(())
     }
 
@@ -274,9 +271,7 @@ impl StorageBackend for JournalBackend {
 
     fn rename(&self, from: &str, to: &str) -> Result<()> {
         self.inner.rename(from, to)?;
-        self.log
-            .lock()
-            .push(JournalOp::Rename { from: from.to_string(), to: to.to_string() });
+        self.log.lock().push(JournalOp::Rename { from: from.to_string(), to: to.to_string() });
         Ok(())
     }
 

@@ -26,6 +26,9 @@
 //! * [`fallback::FallbackBackend`] — graceful degradation: writes fail over
 //!   to a secondary tier after repeated primary failures, with the downgrade
 //!   observable for failure logging and metrics.
+//! * [`governor::GovernedBackend`] — tags every transfer with a job name
+//!   and admits it through a [`governor::BandwidthGovernor`] (the
+//!   coordinator's cross-job bandwidth scheduling choke point).
 //! * [`hot::HotTier`] / [`hot::TieredReadBackend`] — the in-process hot
 //!   checkpoint tier (bounded ring of the last K steps, peer-replicated)
 //!   and the read-through overlay the recovery ladder loads through.
@@ -39,10 +42,11 @@ pub mod corrupt;
 pub mod disk;
 pub mod fallback;
 pub mod flaky;
-pub mod hot;
-pub mod journal;
+pub mod governor;
 pub mod hdfs;
+pub mod hot;
 pub mod instrument;
+pub mod journal;
 pub mod memory;
 pub mod throttle;
 pub mod uri;
@@ -51,12 +55,13 @@ pub use corrupt::{CorruptingBackend, Corruption};
 pub use disk::DiskBackend;
 pub use fallback::{FailoverEvent, FallbackBackend};
 pub use flaky::FlakyBackend;
-pub use hot::{HotTier, TierHit, TieredReadBackend};
-pub use journal::{JournalBackend, JournalOp};
+pub use governor::{BandwidthGovernor, DynGovernor, GovernedBackend, NoopGovernor, OpClass};
 pub use hdfs::{HdfsBackend, HdfsConfig, NameNodeStats};
+pub use hot::{HotTier, TierHit, TieredReadBackend};
 pub use instrument::InstrumentedBackend;
+pub use journal::{JournalBackend, JournalOp};
 pub use memory::MemoryBackend;
-pub use throttle::{Throttled, ThrottleProfile};
+pub use throttle::{ThrottleProfile, Throttled};
 pub use uri::{CheckpointLocation, StorageUri};
 
 use bytes::Bytes;
@@ -203,8 +208,7 @@ pub(crate) mod conformance {
 
     fn gather_writes(b: &dyn StorageBackend) {
         // Multi-segment (including an empty segment) concatenates in order.
-        let segs =
-            [Bytes::from_static(b"head"), Bytes::new(), Bytes::from_static(b"payload")];
+        let segs = [Bytes::from_static(b"head"), Bytes::new(), Bytes::from_static(b"payload")];
         b.write_segments("g/multi", &segs).unwrap();
         assert_eq!(&b.read("g/multi").unwrap()[..], b"headpayload");
         // Single segment replaces an existing object.
@@ -237,10 +241,7 @@ pub(crate) mod conformance {
         assert_eq!(&b.read_range("r/data", 2, 3).unwrap()[..], b"234");
         assert_eq!(&b.read_range("r/data", 0, 10).unwrap()[..], b"0123456789");
         assert_eq!(&b.read_range("r/data", 9, 1).unwrap()[..], b"9");
-        assert!(matches!(
-            b.read_range("r/data", 8, 5),
-            Err(StorageError::RangeOutOfBounds { .. })
-        ));
+        assert!(matches!(b.read_range("r/data", 8, 5), Err(StorageError::RangeOutOfBounds { .. })));
     }
 
     fn listing_and_delete(b: &dyn StorageBackend) {

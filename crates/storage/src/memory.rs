@@ -89,7 +89,12 @@ impl StorageBackend for MemoryBackend {
         let obj = objects.get(path).ok_or_else(|| StorageError::NotFound(path.to_string()))?;
         let size = obj.len() as u64;
         if offset + len > size {
-            return Err(StorageError::RangeOutOfBounds { path: path.to_string(), size, offset, len });
+            return Err(StorageError::RangeOutOfBounds {
+                path: path.to_string(),
+                size,
+                offset,
+                len,
+            });
         }
         Ok(obj.slice(offset as usize..(offset + len) as usize))
     }

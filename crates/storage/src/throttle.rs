@@ -24,7 +24,11 @@ pub struct ThrottleProfile {
 impl ThrottleProfile {
     /// No throttling at all.
     pub fn unlimited() -> ThrottleProfile {
-        ThrottleProfile { read_bps: f64::INFINITY, write_bps: f64::INFINITY, op_latency: Duration::ZERO }
+        ThrottleProfile {
+            read_bps: f64::INFINITY,
+            write_bps: f64::INFINITY,
+            op_latency: Duration::ZERO,
+        }
     }
 
     /// A scaled-down NAS-like profile: moderate bandwidth, noticeable
@@ -147,11 +151,7 @@ mod tests {
 
     #[test]
     fn conformance_with_unlimited_profile() {
-        let t = Throttled::new(
-            Arc::new(MemoryBackend::new()),
-            ThrottleProfile::unlimited(),
-            "nas",
-        );
+        let t = Throttled::new(Arc::new(MemoryBackend::new()), ThrottleProfile::unlimited(), "nas");
         crate::conformance::run_all(&t);
         assert_eq!(t.name(), "nas");
     }

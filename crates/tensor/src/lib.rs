@@ -33,11 +33,7 @@ pub use tensor::{Storage, Tensor};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TensorError {
     /// An n-D box (offsets + lengths) does not fit inside the tensor shape.
-    BoxOutOfBounds {
-        shape: Vec<usize>,
-        offsets: Vec<usize>,
-        lengths: Vec<usize>,
-    },
+    BoxOutOfBounds { shape: Vec<usize>, offsets: Vec<usize>, lengths: Vec<usize> },
     /// Ranks (number of dimensions) of two arguments disagree.
     RankMismatch { expected: usize, got: usize },
     /// Shapes disagree where they must match exactly.
@@ -68,7 +64,9 @@ impl std::fmt::Display for TensorError {
             TensorError::DTypeMismatch { expected, got } => {
                 write!(f, "dtype mismatch: expected {expected:?}, got {got:?}")
             }
-            TensorError::MetaTensor => write!(f, "operation requires materialized data, got meta tensor"),
+            TensorError::MetaTensor => {
+                write!(f, "operation requires materialized data, got meta tensor")
+            }
             TensorError::FlatRangeOutOfBounds { numel, start, len } => write!(
                 f,
                 "flat range [{start}, {}) out of bounds for {numel} elements",

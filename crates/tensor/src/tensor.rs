@@ -44,11 +44,7 @@ impl Tensor {
     /// Create a zero-filled materialized tensor.
     pub fn zeros(dtype: DType, shape: Vec<usize>) -> Tensor {
         let nbytes = numel(&shape) * dtype.size();
-        Tensor {
-            dtype,
-            shape,
-            storage: Storage::Materialized(BytesMut::zeroed(nbytes).freeze()),
-        }
+        Tensor { dtype, shape, storage: Storage::Materialized(BytesMut::zeroed(nbytes).freeze()) }
     }
 
     /// Create a meta tensor: shape and dtype only, no storage.
@@ -407,9 +403,15 @@ mod tests {
     fn write_box_dtype_and_bounds_errors() {
         let base = Tensor::zeros(DType::F32, vec![4, 4]);
         let bad_dtype = Tensor::zeros(DType::F16, vec![2, 2]);
-        assert!(matches!(base.write_box(&[0, 0], &bad_dtype), Err(TensorError::DTypeMismatch { .. })));
+        assert!(matches!(
+            base.write_box(&[0, 0], &bad_dtype),
+            Err(TensorError::DTypeMismatch { .. })
+        ));
         let too_big = Tensor::zeros(DType::F32, vec![5, 1]);
-        assert!(matches!(base.write_box(&[0, 0], &too_big), Err(TensorError::BoxOutOfBounds { .. })));
+        assert!(matches!(
+            base.write_box(&[0, 0], &too_big),
+            Err(TensorError::BoxOutOfBounds { .. })
+        ));
     }
 
     #[test]

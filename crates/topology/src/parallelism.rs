@@ -77,9 +77,7 @@ impl Parallelism {
     /// All global ranks in the same TP group as `rank` (fixed dp, pp).
     pub fn tp_group(&self, rank: usize) -> Result<Vec<usize>> {
         let c = self.coords(rank)?;
-        (0..self.tp)
-            .map(|t| self.rank_of(RankCoord { tp: t, ..c }))
-            .collect()
+        (0..self.tp).map(|t| self.rank_of(RankCoord { tp: t, ..c })).collect()
     }
 
     /// All global ranks in the same DP group as `rank` (fixed tp, pp).
@@ -88,17 +86,13 @@ impl Parallelism {
     /// (and, for ZeRO-3, parameter) state across it.
     pub fn dp_group(&self, rank: usize) -> Result<Vec<usize>> {
         let c = self.coords(rank)?;
-        (0..self.dp)
-            .map(|d| self.rank_of(RankCoord { dp: d, ..c }))
-            .collect()
+        (0..self.dp).map(|d| self.rank_of(RankCoord { dp: d, ..c })).collect()
     }
 
     /// All global ranks in the same PP group as `rank` (fixed tp, dp).
     pub fn pp_group(&self, rank: usize) -> Result<Vec<usize>> {
         let c = self.coords(rank)?;
-        (0..self.pp)
-            .map(|p| self.rank_of(RankCoord { pp: p, ..c }))
-            .collect()
+        (0..self.pp).map(|p| self.rank_of(RankCoord { pp: p, ..c })).collect()
     }
 
     /// Whether `rank` is the one that saves dataloader state files.

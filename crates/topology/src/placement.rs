@@ -29,7 +29,11 @@ pub struct ReplicaPlacement {
 impl ReplicaPlacement {
     /// Build a placement; `replicas` is the *requested* count, capped at
     /// `num_hosts - 1` (see [`ReplicaPlacement::effective_replicas`]).
-    pub fn new(world_size: usize, gpus_per_host: usize, replicas: usize) -> Result<ReplicaPlacement> {
+    pub fn new(
+        world_size: usize,
+        gpus_per_host: usize,
+        replicas: usize,
+    ) -> Result<ReplicaPlacement> {
         Ok(ReplicaPlacement { layout: ClusterLayout::new(world_size, gpus_per_host)?, replicas })
     }
 

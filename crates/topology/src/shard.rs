@@ -77,9 +77,7 @@ impl ShardSpec {
     /// out-of-range dims/indices.
     pub fn grid_box(&self, global_shape: &[usize]) -> Result<(Vec<usize>, Vec<usize>)> {
         match self {
-            ShardSpec::Replicated => {
-                Ok((vec![0; global_shape.len()], global_shape.to_vec()))
-            }
+            ShardSpec::Replicated => Ok((vec![0; global_shape.len()], global_shape.to_vec())),
             ShardSpec::Grid(dims) => {
                 let mut offsets = vec![0; global_shape.len()];
                 let mut lengths = global_shape.to_vec();

@@ -26,7 +26,7 @@ proptest! {
     ) {
         let world = mesh.world_size();
         let p = ReplicaPlacement::new(world, gpus_per_host, replicas).unwrap();
-        let layout = p.layout().clone();
+        let layout = *p.layout();
         for source in 0..world {
             let targets = p.targets(source);
             prop_assert_eq!(targets.len(), p.effective_replicas());
@@ -54,7 +54,7 @@ proptest! {
     ) {
         let world = mesh.world_size();
         let p = ReplicaPlacement::new(world, gpus_per_host, replicas).unwrap();
-        let layout = p.layout().clone();
+        let layout = *p.layout();
         // Single-host coverage is only promisable with a second host.
         prop_assume!(layout.num_hosts() > 1);
         for lost_host in 0..layout.num_hosts() {

@@ -59,7 +59,8 @@ fn run_phase(
 fn main() {
     let arch = zoo::tiny_gpt();
     let fw = Framework::Fsdp { zero3: true };
-    let (par8, par6) = (Parallelism::data_parallel(8).unwrap(), Parallelism::data_parallel(6).unwrap());
+    let (par8, par6) =
+        (Parallelism::data_parallel(8).unwrap(), Parallelism::data_parallel(6).unwrap());
     let registry = Arc::new(BackendRegistry::all_memory());
     let checkpoint_step = 12u64;
 
@@ -104,7 +105,7 @@ fn main() {
         let out = ckpt
             .load(
                 &mut LoadRequest::new("mem://cluster/elastic/step_12", &mut state)
-                    .with_loader_target(6, 2, rank),
+                    .with_loader_target(LoaderTarget::new(6, 2, rank)),
             )
             .expect("load");
         // GPU states: bitwise identical to an uninterrupted 6-way run.

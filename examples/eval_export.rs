@@ -62,8 +62,7 @@ fn main() {
     let mut eval_state = build_train_state(&arch, Framework::Ddp, eval_par, 0, true);
     // Evaluation only needs the model; drop the optimizer target entries.
     eval_state.optimizer.entries.clear();
-    ckpt.load(&mut LoadRequest::new("mem://prod/eval-demo/step_8", &mut eval_state))
-        .expect("load");
+    ckpt.load(&mut LoadRequest::new("mem://prod/eval-demo/step_8", &mut eval_state)).expect("load");
     let mut want = build_train_state(&arch, Framework::Ddp, eval_par, 0, true);
     TrainerConfig::default().run(&mut want, 0, steps);
     for (fqn, w) in &want.model.entries {

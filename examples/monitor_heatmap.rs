@@ -13,7 +13,7 @@ use bytecheckpoint::core::telemetry::read_step_telemetry;
 use bytecheckpoint::monitor::analysis::{critical_path, phase_percentiles};
 use bytecheckpoint::monitor::{heatmap, render_breakdown};
 use bytecheckpoint::prelude::*;
-use bytecheckpoint::storage::{Throttled, ThrottleProfile};
+use bytecheckpoint::storage::{ThrottleProfile, Throttled};
 use std::sync::Arc;
 use std::time::Duration;
 

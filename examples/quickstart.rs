@@ -103,10 +103,7 @@ fn main() {
     let phase2: Vec<Mlp> = handles.into_iter().map(|h| h.join().unwrap()).collect();
 
     for rank in 0..dp {
-        assert!(
-            phase1[rank].state_eq(&phase2[rank]),
-            "rank {rank}: resumed training diverged"
-        );
+        assert!(phase1[rank].state_eq(&phase2[rank]), "rank {rank}: resumed training diverged");
     }
     println!("resumed run is bitwise identical to the uninterrupted one ✓");
     println!("checkpoint files live under {}", ckpt_dir.display());

@@ -31,4 +31,7 @@ cargo bench --workspace --no-run
 echo "==> bench_engine smoke (writes BENCH_engine.json)"
 cargo run --release -p bcp-bench --bin bench_engine -- --smoke --out BENCH_engine.json
 
+echo "==> coordinator smoke (4 concurrent jobs, fairness gate; writes BENCH_coordinator.json)"
+cargo run --release -p bcp-bench --bin bench_coordinator -- --smoke --out BENCH_coordinator.json
+
 echo "All checks passed."

@@ -10,6 +10,9 @@
 //! bcpctl gc      <job-root-dir>          # delete every torn (uncommitted) step
 //! bcpctl scrub   <job-root-dir> [flags]  # full-sweep integrity check (CI)
 //! bcpctl report  <job-root-dir> [flags]  # offline telemetry report (§5.3)
+//! bcpctl serve   <addr> [flags]          # run the checkpoint control plane
+//! bcpctl jobs    <addr>                  # list jobs on a running coordinator
+//! bcpctl status  <addr> <job-id>         # one job's control-plane status
 //! ```
 //!
 //! All commands run against the real on-disk checkpoint layout produced by
@@ -32,7 +35,18 @@
 //! run when no committed step exists. `--quarantine` moves each corrupt
 //! committed step aside to `<root>/quarantine/` so the next `load_latest`
 //! resumes from the newest clean step.
+//!
+//! `serve` runs the multi-job checkpoint control plane (`bcp-coordinator`):
+//! a JSON-lines-over-TCP daemon doing job registration with typed
+//! admission/backpressure, per-job commit telemetry, and global fair-share
+//! storage-bandwidth scheduling. Flags: `--max-jobs <N>` (admission slots,
+//! default 64), `--rate-mbps <X>` (shared bandwidth envelope, default 256),
+//! `--for-seconds <S>` (exit after S seconds; default: run until killed).
+//! `jobs` and `status` are thin wire clients against a running `serve`.
 
+use bytecheckpoint::coordinator::{
+    AdmissionPolicy, CoordinatorClient, CoordinatorServer, CoordinatorService, SchedulerConfig,
+};
 use bytecheckpoint::core::export::export_safetensors;
 use bytecheckpoint::core::format::decode_frames;
 use bytecheckpoint::core::metadata::{GlobalMetadata, METADATA_FILE};
@@ -59,9 +73,12 @@ fn main() -> ExitCode {
         [cmd, dir] if cmd == "gc" => cmd_gc(dir),
         [cmd, dir, flags @ ..] if cmd == "scrub" => cmd_scrub(dir, flags),
         [cmd, dir, flags @ ..] if cmd == "report" => cmd_report(dir, flags),
+        [cmd, addr, flags @ ..] if cmd == "serve" => cmd_serve(addr, flags),
+        [cmd, addr] if cmd == "jobs" => cmd_jobs(addr),
+        [cmd, addr, job_id] if cmd == "status" => cmd_status(addr, job_id),
         _ => {
             eprintln!(
-                "usage: bcpctl <list|inspect|verify|gc> <dir> | export <dir> <out> | retain <dir> <k> | scrub <dir> [--quarantine] | report <dir> [--step N] [--load] [--min-mbps X] [--trace out.json] [--csv out.csv]"
+                "usage: bcpctl <list|inspect|verify|gc> <dir> | export <dir> <out> | retain <dir> <k> | scrub <dir> [--quarantine] | report <dir> [--step N] [--load] [--min-mbps X] [--trace out.json] [--csv out.csv] | serve <addr> [--max-jobs N] [--rate-mbps X] [--for-seconds S] | jobs <addr> | status <addr> <job-id>"
             );
             return ExitCode::from(2);
         }
@@ -144,10 +161,7 @@ fn cmd_inspect(dir: &str) -> Result<(), AnyError> {
     println!("tensors      {tensors} logical, {shards} stored shards");
     println!("tensor bytes {}", human_bytes(meta.total_tensor_bytes()));
     if let Some(rep) = &meta.loader_map.replicated_file {
-        println!(
-            "dataloader   {} shard files + replicated ({rep})",
-            meta.loader_map.shards.len()
-        );
+        println!("dataloader   {} shard files + replicated ({rep})", meta.loader_map.shards.len());
     }
     if !meta.extra_files.is_empty() {
         println!("extra state  {} rank files", meta.extra_files.len());
@@ -285,6 +299,88 @@ fn cmd_scrub(dir: &str, flags: &[String]) -> Result<(), AnyError> {
     Ok(())
 }
 
+fn cmd_serve(addr: &str, flags: &[String]) -> Result<(), AnyError> {
+    let mut policy = AdmissionPolicy::default();
+    let mut sched = SchedulerConfig::default();
+    let mut for_seconds: Option<u64> = None;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().map(|s| s.to_string()).ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--max-jobs" => policy.max_jobs = value("--max-jobs")?.parse()?,
+            "--rate-mbps" => sched.rate_bps = value("--rate-mbps")?.parse::<u64>()? * 1024 * 1024,
+            "--for-seconds" => for_seconds = Some(value("--for-seconds")?.parse()?),
+            other => return Err(format!("unknown serve flag {other:?}").into()),
+        }
+    }
+    let service = CoordinatorService::new(policy, sched);
+    let server = CoordinatorServer::bind(addr, service)?;
+    println!("listening on {}", server.local_addr());
+    println!(
+        "admission: {} job slots; envelope: {}/s shared",
+        policy.max_jobs,
+        human_bytes(sched.rate_bps)
+    );
+    match for_seconds {
+        Some(s) => {
+            std::thread::sleep(std::time::Duration::from_secs(s));
+            server.shutdown();
+        }
+        None => loop {
+            std::thread::park();
+        },
+    }
+    Ok(())
+}
+
+fn cmd_jobs(addr: &str) -> Result<(), AnyError> {
+    let mut client = CoordinatorClient::connect(addr)?;
+    let jobs = client.jobs()?;
+    if jobs.is_empty() {
+        println!("no jobs registered on {addr}");
+        return Ok(());
+    }
+    println!(
+        "{:<20} {:>5} {:>6} {:>3} {:>7} {:>9} {:>10} {:>8} {:>8}",
+        "job", "world", "weight", "gen", "commits", "last step", "committed", "p50 ms", "p99 ms"
+    );
+    for j in &jobs {
+        println!(
+            "{:<20} {:>5} {:>6} {:>3} {:>7} {:>9} {:>10} {:>8.1} {:>8.1}",
+            j.job_id,
+            j.world_size,
+            j.weight,
+            j.generation,
+            j.commits,
+            j.last_step.map_or("-".to_string(), |s| s.to_string()),
+            human_bytes(j.bytes_committed),
+            j.latency.p50_ms,
+            j.latency.p99_ms,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_status(addr: &str, job_id: &str) -> Result<(), AnyError> {
+    let mut client = CoordinatorClient::connect(addr)?;
+    let j = client.status(job_id)?;
+    println!("job          {}", j.job_id);
+    println!("world size   {}", j.world_size);
+    println!("weight       {}", j.weight);
+    println!("generation   {}", j.generation);
+    println!("registered   {:.1}s ago", j.registered_for_s);
+    println!("commits      {}", j.commits);
+    println!("last step    {}", j.last_step.map_or("-".to_string(), |s| s.to_string()));
+    println!("committed    {}", human_bytes(j.bytes_committed));
+    println!(
+        "latency      p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms, max {:.1} ms over {} commits",
+        j.latency.p50_ms, j.latency.p90_ms, j.latency.p99_ms, j.latency.max_ms, j.latency.count
+    );
+    Ok(())
+}
+
 /// Parsed `report` flags.
 struct ReportFlags {
     step: Option<u64>,
@@ -295,8 +391,7 @@ struct ReportFlags {
 }
 
 fn parse_report_flags(flags: &[String]) -> Result<ReportFlags, AnyError> {
-    let mut out =
-        ReportFlags { step: None, load: false, min_mbps: 10.0, trace: None, csv: None };
+    let mut out = ReportFlags { step: None, load: false, min_mbps: 10.0, trace: None, csv: None };
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -358,8 +453,7 @@ fn cmd_report(dir: &str, raw_flags: &[String]) -> Result<(), AnyError> {
     let flags = parse_report_flags(raw_flags)?;
     let (backend, root) = open(dir)?;
     let mgr = CheckpointManager::new(backend.clone(), root);
-    let committed: Vec<u64> =
-        mgr.list()?.iter().filter(|c| c.committed).map(|c| c.step).collect();
+    let committed: Vec<u64> = mgr.list()?.iter().filter(|c| c.committed).map(|c| c.step).collect();
     if committed.is_empty() {
         return Err(format!("no committed step_<N> checkpoints under {dir}").into());
     }
@@ -372,9 +466,7 @@ fn cmd_report(dir: &str, raw_flags: &[String]) -> Result<(), AnyError> {
     let op = if flags.load { "load" } else { "save" };
     let prefix = mgr.prefix_for(step);
     let doc = read_step_telemetry(&backend, &prefix, file)?.ok_or_else(|| {
-        format!(
-            "step {step} has no {file} artifact (telemetry disabled when it was written?)"
-        )
+        format!("step {step} has no {file} artifact (telemetry disabled when it was written?)")
     })?;
     let meta = mgr.metadata(step)?;
     let records = doc.all_records();
@@ -411,10 +503,7 @@ fn cmd_report(dir: &str, raw_flags: &[String]) -> Result<(), AnyError> {
 
     // Per-phase percentile histogram across ranks.
     println!();
-    println!(
-        "{:<24} {:>5} {:>9} {:>9} {:>9} {:>9}",
-        "phase", "n", "p50", "p95", "p99", "max"
-    );
+    println!("{:<24} {:>5} {:>9} {:>9} {:>9} {:>9}", "phase", "n", "p50", "p95", "p99", "max");
     for (phase, st) in phase_percentiles(&records) {
         println!(
             "{:<24} {:>5} {:>8.3}s {:>8.3}s {:>8.3}s {:>8.3}s",

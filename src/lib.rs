@@ -58,9 +58,11 @@
 //! | [`baselines`] | DCP-like, MCP-like, offline reshard jobs |
 //! | [`monitor`] | spans, metrics, telemetry artifacts, heat maps, analysis |
 //! | [`sim`] | paper-scale virtual-time experiments |
+//! | [`coordinator`] | multi-job control plane: admission, registry, fair-share bandwidth |
 
 pub use bcp_baselines as baselines;
 pub use bcp_collectives as collectives;
+pub use bcp_coordinator as coordinator;
 pub use bcp_core as core;
 pub use bcp_dataloader as dataloader;
 pub use bcp_model as model;
@@ -74,8 +76,7 @@ pub use bcp_topology as topology;
 pub mod prelude {
     pub use bcp_collectives::{Backend, CommWorld, Communicator};
     pub use bcp_core::api::{
-        Checkpointer, CheckpointerBuilder, CheckpointerOptions, LoadOutcome, LoadRequest,
-        SaveRequest,
+        Checkpointer, CheckpointerBuilder, LoadOutcome, LoadRequest, LoaderTarget, SaveRequest,
     };
     pub use bcp_core::crashsim::{enumerate_crash_states, CrashState};
     pub use bcp_core::fault::FaultPlan;
@@ -83,14 +84,16 @@ pub mod prelude {
     pub use bcp_core::manager::{CheckpointManager, QuarantinedStep};
     pub use bcp_core::registry::BackendRegistry;
     pub use bcp_core::scrub::{scrub_step, scrub_tree, ScrubReport};
+    pub use bcp_core::spec::{JobQuota, JobSpec, Session};
     pub use bcp_core::telemetry::read_step_telemetry;
     pub use bcp_core::workflow::WorkflowOptions;
-    pub use bcp_monitor::{
-        MetricsHub, MetricsSink, StepTelemetry, TELEMETRY_LOAD_FILE, TELEMETRY_SAVE_FILE,
-    };
+    pub use bcp_core::HotTierConfig;
     pub use bcp_dataloader::{DataSource, Dataloader, LoaderReplicatedState, LoaderShardState};
     pub use bcp_model::states::build_train_state;
     pub use bcp_model::{zoo, ExtraState, Framework, TrainState, TrainerConfig};
+    pub use bcp_monitor::{
+        MetricsHub, MetricsSink, StepTelemetry, TELEMETRY_LOAD_FILE, TELEMETRY_SAVE_FILE,
+    };
     pub use bcp_storage::uri::Scheme;
     pub use bcp_storage::{
         CheckpointLocation, CorruptingBackend, Corruption, DiskBackend, DynBackend,

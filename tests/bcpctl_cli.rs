@@ -33,15 +33,9 @@ fn make_job_dir(tag: &str) -> std::path::PathBuf {
 }
 
 fn bcpctl(args: &[&str]) -> (bool, String) {
-    let out = Command::new(env!("CARGO_BIN_EXE_bcpctl"))
-        .args(args)
-        .output()
-        .expect("bcpctl runs");
-    let text = format!(
-        "{}{}",
-        String::from_utf8_lossy(&out.stdout),
-        String::from_utf8_lossy(&out.stderr)
-    );
+    let out = Command::new(env!("CARGO_BIN_EXE_bcpctl")).args(args).output().expect("bcpctl runs");
+    let text =
+        format!("{}{}", String::from_utf8_lossy(&out.stdout), String::from_utf8_lossy(&out.stderr));
     (out.status.success(), text)
 }
 
@@ -148,4 +142,49 @@ fn scrub_fails_ci_on_corruption_and_quarantines() {
     assert!(text.contains("1 clean committed"), "{text}");
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `bcpctl serve` + `jobs` + `status`: a live control plane driven purely
+/// through the CLI and the typed wire client.
+#[test]
+fn serve_jobs_status() {
+    use bytecheckpoint::coordinator::CoordinatorClient;
+    use bytecheckpoint::prelude::JobSpec;
+    use std::io::BufRead;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_bcpctl"))
+        .args(["serve", "127.0.0.1:0", "--max-jobs", "4", "--for-seconds", "30"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let addr = {
+        let stdout = child.stdout.as_mut().expect("piped stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout).read_line(&mut line).expect("banner line");
+        line.trim().strip_prefix("listening on ").expect("banner format").to_string()
+    };
+
+    let (ok, text) = bcpctl(&["jobs", &addr]);
+    assert!(ok, "{text}");
+    assert!(text.contains("no jobs registered"), "{text}");
+
+    // Register through the typed client, observe through the CLI.
+    let mut client = CoordinatorClient::connect(&addr).unwrap();
+    assert!(client.register(JobSpec::new("cli-job", "mem://jobs/cli-job")).unwrap().is_admitted());
+    client.report_commit("cli-job", 7, 4096, 12).unwrap();
+
+    let (ok, text) = bcpctl(&["jobs", &addr]);
+    assert!(ok, "{text}");
+    assert!(text.contains("cli-job"), "{text}");
+
+    let (ok, text) = bcpctl(&["status", &addr, "cli-job"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("commits      1"), "{text}");
+    assert!(text.contains("last step    7"), "{text}");
+
+    let (ok, text) = bcpctl(&["status", &addr, "ghost"]);
+    assert!(!ok, "unknown job must exit non-zero: {text}");
+
+    let _ = child.kill();
+    let _ = child.wait();
 }

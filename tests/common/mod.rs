@@ -1,4 +1,8 @@
 //! Shared helpers for the workspace-level integration tests.
+//!
+//! Each integration test binary compiles its own copy of this module, and
+//! not every binary uses every helper.
+#![allow(dead_code)]
 
 use bytecheckpoint::prelude::*;
 use std::sync::Arc;
@@ -14,10 +18,7 @@ where
     F: Fn(usize, Checkpointer) -> T + Send + Sync + 'static,
     T: Send + 'static,
 {
-    let world = CommWorld::new(
-        par.world_size(),
-        Backend::Tree { gpus_per_host: 4, branching: 2 },
-    );
+    let world = CommWorld::new(par.world_size(), Backend::Tree { gpus_per_host: 4, branching: 2 });
     let f = Arc::new(f);
     let handles: Vec<_> = (0..par.world_size())
         .map(|rank| {
@@ -54,10 +55,9 @@ pub fn reference_state(
 
 /// Assert two states agree bitwise on every entry the reference holds.
 pub fn assert_states_eq(got: &TrainState, want: &TrainState, rank: usize) {
-    for (name, got_d, want_d) in [
-        ("model", &got.model, &want.model),
-        ("optimizer", &got.optimizer, &want.optimizer),
-    ] {
+    for (name, got_d, want_d) in
+        [("model", &got.model, &want.model), ("optimizer", &got.optimizer, &want.optimizer)]
+    {
         assert_eq!(got_d.entries.len(), want_d.entries.len(), "rank {rank} {name} entry count");
         for (fqn, w) in &want_d.entries {
             let g = got_d.get(fqn).unwrap_or_else(|| panic!("rank {rank}: missing {fqn}"));

@@ -32,11 +32,7 @@ fn worker_death_during_save_leaves_no_committed_checkpoint() {
 
     // Now a save where rank 2 "dies" before participating: the survivors'
     // barrier aborts and nothing is committed.
-    let world = CommWorld::with_timeout(
-        3,
-        Backend::Flat,
-        Duration::from_secs(5),
-    );
+    let world = CommWorld::with_timeout(3, Backend::Flat, Duration::from_secs(5));
     let mut handles = Vec::new();
     for rank in 0..2 {
         // rank 2 never starts
@@ -52,9 +48,8 @@ fn worker_death_during_save_leaves_no_committed_checkpoint() {
                 .build()
                 .unwrap();
             let state = reference_state(&arch, fw, par, rank, 2);
-            let result = ckpt
-                .save(&SaveRequest::new("mem://x/j/torn", &state, 2))
-                .and_then(|t| t.wait());
+            let result =
+                ckpt.save(&SaveRequest::new("mem://x/j/torn", &state, 2)).and_then(|t| t.wait());
             result.err().map(|e| e.to_string())
         }));
     }
@@ -91,14 +86,11 @@ fn corrupted_storage_file_is_detected_at_load() {
     });
     // Corrupt the metadata JSON: load must fail loudly.
     let original_meta = mem.read("j/c/global_metadata.json").unwrap();
-    mem.write("j/c/global_metadata.json", bytes::Bytes::from_static(b"{broken"))
-        .unwrap();
+    mem.write("j/c/global_metadata.json", bytes::Bytes::from_static(b"{broken")).unwrap();
     let arch_c = arch.clone();
     let errs = run_ranks(par, fw, registry.clone(), move |rank, ckpt| {
         let mut state = build_train_state(&arch_c, fw, par, rank, true);
-        ckpt.load(&mut LoadRequest::new("mem://x/j/c", &mut state))
-            .err()
-            .map(|e| e.to_string())
+        ckpt.load(&mut LoadRequest::new("mem://x/j/c", &mut state)).err().map(|e| e.to_string())
     });
     assert!(errs[0].as_ref().unwrap().contains("metadata parse error"));
 
@@ -110,9 +102,7 @@ fn corrupted_storage_file_is_detected_at_load() {
     let arch_c = arch.clone();
     let errs = run_ranks(par, fw, registry, move |rank, ckpt| {
         let mut state = build_train_state(&arch_c, fw, par, rank, true);
-        ckpt.load(&mut LoadRequest::new("mem://x/j/c", &mut state))
-            .err()
-            .map(|e| e.to_string())
+        ckpt.load(&mut LoadRequest::new("mem://x/j/c", &mut state)).err().map(|e| e.to_string())
     });
     assert!(errs[0].is_some(), "truncated file must fail the load");
 }
@@ -143,9 +133,7 @@ fn metadata_tampering_is_caught_by_validation() {
     let arch_c = arch.clone();
     let errs = run_ranks(par, fw, registry, move |rank, ckpt| {
         let mut state = build_train_state(&arch_c, fw, par, rank, true);
-        ckpt.load(&mut LoadRequest::new("mem://x/j/t", &mut state))
-            .err()
-            .map(|e| e.to_string())
+        ckpt.load(&mut LoadRequest::new("mem://x/j/t", &mut state)).err().map(|e| e.to_string())
     });
     assert!(errs[0].as_ref().unwrap().contains("byte length"), "{errs:?}");
 }

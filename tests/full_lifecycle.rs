@@ -65,11 +65,11 @@ fn pretrain_resume_sft_eval_export() {
     run_ranks(par2, fw1, registry.clone(), move |rank, ckpt| {
         let mut state = build_train_state(&arch_c, fw1, par2, rank, true);
         let coords = par2.coords(rank).unwrap();
-        let loader_target = if par2.holds_dataloader_state(rank) {
-            Some((par2.dp, 2, coords.dp))
-        } else {
-            None
-        };
+        let loader_target = par2.holds_dataloader_state(rank).then_some(LoaderTarget {
+            dp_size: par2.dp,
+            workers_per_rank: 2,
+            my_dp_rank: coords.dp,
+        });
         let out = ckpt
             .load(&mut LoadRequest {
                 location: "hdfs://prod/lineage/pretrain_10".into(),
@@ -246,10 +246,7 @@ fn two_tier_memory_plus_hdfs_checkpointing() {
     let fast = CheckpointManager::new(mem, "job");
     let durable = CheckpointManager::new(hdfs, "job");
     assert_eq!(fast.latest().unwrap().unwrap().step, 4);
-    assert_eq!(
-        durable.list().unwrap().iter().map(|c| c.step).collect::<Vec<_>>(),
-        vec![2, 4]
-    );
+    assert_eq!(durable.list().unwrap().iter().map(|c| c.step).collect::<Vec<_>>(), vec![2, 4]);
     // Recover from the durable tier and verify.
     let arch_c = arch.clone();
     run_ranks(par, fw, registry, move |rank, ckpt| {

@@ -19,7 +19,12 @@ struct JobShape {
 fn arb_shape() -> impl Strategy<Value = JobShape> {
     prop_oneof![
         // Megatron: tp in {1,2}, dp in 1..=3, pp in {1,2,4} (8-layer model).
-        (prop_oneof![Just(1usize), Just(2)], 1usize..=3, prop_oneof![Just(1usize), Just(2), Just(4)], any::<bool>())
+        (
+            prop_oneof![Just(1usize), Just(2)],
+            1usize..=3,
+            prop_oneof![Just(1usize), Just(2), Just(4)],
+            any::<bool>()
+        )
             .prop_map(|(tp, dp, pp, dist_opt)| JobShape {
                 fw: Framework::Megatron { distributed_optimizer: dist_opt },
                 par: Parallelism::new(tp, dp, pp).unwrap(),

@@ -64,9 +64,27 @@ fn megatron_dp_changes_with_distributed_optimizer() {
 
 #[test]
 fn fsdp_dp_elasticity() {
-    transition(zoo::tiny_gpt(), Z3, Parallelism::data_parallel(5).unwrap(), Z3, Parallelism::data_parallel(3).unwrap());
-    transition(zoo::tiny_gpt(), Z2, Parallelism::data_parallel(2).unwrap(), Z2, Parallelism::data_parallel(6).unwrap());
-    transition(zoo::tiny_dit(), Z2, Parallelism::data_parallel(3).unwrap(), Z3, Parallelism::data_parallel(2).unwrap());
+    transition(
+        zoo::tiny_gpt(),
+        Z3,
+        Parallelism::data_parallel(5).unwrap(),
+        Z3,
+        Parallelism::data_parallel(3).unwrap(),
+    );
+    transition(
+        zoo::tiny_gpt(),
+        Z2,
+        Parallelism::data_parallel(2).unwrap(),
+        Z2,
+        Parallelism::data_parallel(6).unwrap(),
+    );
+    transition(
+        zoo::tiny_dit(),
+        Z2,
+        Parallelism::data_parallel(3).unwrap(),
+        Z3,
+        Parallelism::data_parallel(2).unwrap(),
+    );
 }
 
 #[test]
@@ -76,10 +94,28 @@ fn cross_framework_all_pairs() {
     // FSDP -> Megatron (scaling a fine-tuned model back up).
     transition(zoo::tiny_gpt(), Z3, Parallelism::data_parallel(4).unwrap(), MEG, p(2, 1, 2));
     // DDP -> Megatron and back.
-    transition(zoo::tiny_gpt(), Framework::Ddp, Parallelism::data_parallel(2).unwrap(), MEG, p(2, 1, 2));
-    transition(zoo::tiny_gpt(), MEG, p(2, 2, 1), Framework::Ddp, Parallelism::data_parallel(1).unwrap());
+    transition(
+        zoo::tiny_gpt(),
+        Framework::Ddp,
+        Parallelism::data_parallel(2).unwrap(),
+        MEG,
+        p(2, 1, 2),
+    );
+    transition(
+        zoo::tiny_gpt(),
+        MEG,
+        p(2, 2, 1),
+        Framework::Ddp,
+        Parallelism::data_parallel(1).unwrap(),
+    );
     // veScale in and out.
-    transition(zoo::tiny_gpt(), Framework::VeScale, p(2, 2, 1), Z3, Parallelism::data_parallel(2).unwrap());
+    transition(
+        zoo::tiny_gpt(),
+        Framework::VeScale,
+        p(2, 2, 1),
+        Z3,
+        Parallelism::data_parallel(2).unwrap(),
+    );
 }
 
 #[test]

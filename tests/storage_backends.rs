@@ -7,7 +7,7 @@ mod common;
 use bytecheckpoint::prelude::*;
 use bytecheckpoint::storage::flaky::FailureMode;
 use bytecheckpoint::storage::hdfs::{HdfsConfig, Tier};
-use bytecheckpoint::storage::{FlakyBackend, StorageBackend, Throttled, ThrottleProfile};
+use bytecheckpoint::storage::{FlakyBackend, StorageBackend, ThrottleProfile, Throttled};
 use common::{assert_states_eq, reference_state, run_ranks};
 use std::sync::Arc;
 use std::time::Duration;
@@ -110,10 +110,7 @@ fn flaky_storage_is_absorbed_by_retries() {
     let par = Parallelism::data_parallel(2).unwrap();
     let failures: Vec<usize> = run_ranks(par, fw, registry.clone(), move |rank, ckpt| {
         let state = reference_state(&zoo::tiny_gpt(), fw, par, rank, 1);
-        ckpt.save(&SaveRequest::new("hdfs://flaky/job/ckpt", &state, 1))
-            .unwrap()
-            .wait()
-            .unwrap();
+        ckpt.save(&SaveRequest::new("hdfs://flaky/job/ckpt", &state, 1)).unwrap().wait().unwrap();
         ckpt.failures().len()
     });
     assert!(failures.iter().sum::<usize>() > 0, "failures must be logged");

@@ -28,12 +28,15 @@ fn run_job(dir: &std::path::Path) {
             std::thread::spawn(move || {
                 let disk: DynBackend = Arc::new(DiskBackend::new(&dir).unwrap());
                 let backend: DynBackend = if rank == STRAGGLER {
+                    // The throttle must dominate filesystem noise on the
+                    // tiny test state (a few KB per shard), so it is far
+                    // harsher than a realistic slow disk.
                     Arc::new(Throttled::new(
                         disk,
                         ThrottleProfile {
-                            read_bps: 20e6,
-                            write_bps: 4e6,
-                            op_latency: Duration::from_micros(500),
+                            read_bps: 2e6,
+                            write_bps: 4e5,
+                            op_latency: Duration::from_millis(5),
                         },
                         "slow-disk",
                     ))
@@ -54,14 +57,10 @@ fn run_job(dir: &std::path::Path) {
                 for step in [10u64, 20] {
                     let mut state = build_train_state(&zoo::tiny_gpt(), fw, par, rank, true);
                     TrainerConfig::default().run(&mut state, 0, step);
-                    ckpt.save(&SaveRequest::new(
-                        format!("file:///job/step_{step}"),
-                        &state,
-                        step,
-                    ))
-                    .unwrap()
-                    .wait()
-                    .unwrap();
+                    ckpt.save(&SaveRequest::new(format!("file:///job/step_{step}"), &state, step))
+                        .unwrap()
+                        .wait()
+                        .unwrap();
                 }
                 let mut target = build_train_state(&zoo::tiny_gpt(), fw, par, rank, true);
                 ckpt.load(&mut LoadRequest::new("file:///job/step_20", &mut target)).unwrap();
@@ -75,11 +74,8 @@ fn run_job(dir: &std::path::Path) {
 
 fn bcpctl(args: &[&str]) -> (bool, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_bcpctl")).args(args).output().expect("bcpctl runs");
-    let text = format!(
-        "{}{}",
-        String::from_utf8_lossy(&out.stdout),
-        String::from_utf8_lossy(&out.stderr)
-    );
+    let text =
+        format!("{}{}", String::from_utf8_lossy(&out.stdout), String::from_utf8_lossy(&out.stderr));
     (out.status.success(), text)
 }
 
@@ -149,8 +145,7 @@ fn persisted_telemetry_drives_offline_report() {
     let job_s = job.to_string_lossy().to_string();
     let trace_out = dir.join("trace.json").to_string_lossy().to_string();
     let csv_out = dir.join("records.csv").to_string_lossy().to_string();
-    let (ok, text) =
-        bcpctl(&["report", &job_s, "--trace", &trace_out, "--csv", &csv_out]);
+    let (ok, text) = bcpctl(&["report", &job_s, "--trace", &trace_out, "--csv", &csv_out]);
     assert!(ok, "{text}");
     assert!(text.contains("step 20 (save)"), "{text}");
     assert!(text.contains("heatmap rows="), "{text}");
