@@ -1,6 +1,7 @@
 //! Control-plane benchmark: N concurrent simulated training jobs driving
 //! real checkpoint saves through one `CoordinatorService`, contending for
-//! one shared storage-bandwidth envelope. Emits `BENCH_coordinator.json`.
+//! one shared storage-bandwidth envelope. Emits
+//! `results/BENCH_coordinator.json`.
 //!
 //! Three phases:
 //!
@@ -83,7 +84,7 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_coordinator.json".to_string());
+        .unwrap_or_else(|| "results/BENCH_coordinator.json".to_string());
     let steps: u64 = if smoke { 2 } else { 4 };
     let model = zoo::tiny_gpt();
 
@@ -189,6 +190,9 @@ fn main() {
         },
     });
     let rendered = serde_json::to_string_pretty(&report).expect("serializable report");
+    if let Some(dir) = std::path::Path::new(&out).parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).expect("create report directory");
+    }
     std::fs::write(&out, &rendered).expect("write report");
     println!("{rendered}");
     println!("wrote {out}");

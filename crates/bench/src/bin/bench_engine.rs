@@ -1,7 +1,7 @@
 //! Engine hot-path benchmark: quantifies the overlapped, single-copy
 //! execution engine against the pre-PR sequential paths on a latency-bound
-//! (`Throttled`) backend, and emits `BENCH_engine.json` for the repo's
-//! acceptance gates.
+//! (`Throttled`) backend, and emits `results/BENCH_engine.json` for the
+//! repo's acceptance gates.
 //!
 //! Not a criterion bench on purpose: the interesting numbers are end-to-end
 //! wall clocks of *one* configured pipeline run each, plus pool counters —
@@ -125,7 +125,7 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+        .unwrap_or_else(|| "results/BENCH_engine.json".to_string());
 
     let state = fresh_state();
 
@@ -203,6 +203,9 @@ fn main() {
         },
     });
     let rendered = serde_json::to_string_pretty(&report).expect("serializable report");
+    if let Some(dir) = std::path::Path::new(&out).parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).expect("create report directory");
+    }
     std::fs::write(&out, &rendered).expect("write report");
     println!("{rendered}");
     println!("wrote {out}");

@@ -28,10 +28,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 
-echo "==> bench_engine smoke (writes BENCH_engine.json)"
-cargo run --release -p bcp-bench --bin bench_engine -- --smoke --out BENCH_engine.json
+echo "==> bench_engine smoke (writes results/BENCH_engine.json)"
+cargo run --release -p bcp-bench --bin bench_engine -- --smoke --out results/BENCH_engine.json
 
-echo "==> coordinator smoke (4 concurrent jobs, fairness gate; writes BENCH_coordinator.json)"
-cargo run --release -p bcp-bench --bin bench_coordinator -- --smoke --out BENCH_coordinator.json
+echo "==> coordinator smoke (4 concurrent jobs, fairness gate; writes results/BENCH_coordinator.json)"
+cargo run --release -p bcp-bench --bin bench_coordinator -- --smoke --out results/BENCH_coordinator.json
 
 echo "All checks passed."

@@ -1,0 +1,481 @@
+//! Minimal offline stand-in for the `bytes` crate.
+//!
+//! [`Bytes`] is a cheaply-cloneable immutable byte buffer (Arc-backed,
+//! zero-copy `clone`/`slice`); [`BytesMut`] is a growable buffer that
+//! freezes into `Bytes`. [`BufMut`] covers the little-endian put
+//! methods this workspace uses. Equality and hashing are content-based.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, RangeBounds};
+use std::sync::Arc;
+
+enum Repr {
+    /// Borrowed from a `'static` slice — no allocation, no refcount.
+    Static(&'static [u8]),
+    /// Shared heap storage; `offset..offset+len` is this handle's view.
+    Shared(Arc<Vec<u8>>),
+    /// Arbitrary owner kept alive while a view into it exists.
+    Owner(Arc<dyn AsRef<[u8]> + Send + Sync>),
+}
+
+impl Clone for Repr {
+    fn clone(&self) -> Repr {
+        match self {
+            Repr::Static(s) => Repr::Static(s),
+            Repr::Shared(a) => Repr::Shared(a.clone()),
+            Repr::Owner(a) => Repr::Owner(a.clone()),
+        }
+    }
+}
+
+/// Cheaply cloneable, immutable contiguous byte buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+    offset: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// Empty buffer; does not allocate.
+    pub const fn new() -> Bytes {
+        Bytes { repr: Repr::Static(&[]), offset: 0, len: 0 }
+    }
+
+    /// Wrap a `'static` slice without copying.
+    pub const fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes { repr: Repr::Static(bytes), offset: 0, len: bytes.len() }
+    }
+
+    /// Copy a slice into a new shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Keep `owner` alive and view its bytes without copying.
+    pub fn from_owner<T>(owner: T) -> Bytes
+    where
+        T: AsRef<[u8]> + Send + Sync + 'static,
+    {
+        let arc: Arc<dyn AsRef<[u8]> + Send + Sync> = Arc::new(owner);
+        let len = (*arc).as_ref().as_ref().len();
+        Bytes { repr: Repr::Owner(arc), offset: 0, len }
+    }
+
+    /// Length of this view in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether this view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Zero-copy sub-view. Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of bounds for {}",
+            self.len
+        );
+        Bytes { repr: self.repr.clone(), offset: self.offset + start, len: end - start }
+    }
+
+    /// View as a plain byte slice.
+    pub fn as_ref_slice(&self) -> &[u8] {
+        let full: &[u8] = match &self.repr {
+            Repr::Static(s) => s,
+            Repr::Shared(a) => a.as_slice(),
+            Repr::Owner(a) => (**a).as_ref(),
+        };
+        &full[self.offset..self.offset + self.len]
+    }
+
+    /// Copy this view into an owned `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref_slice().to_vec()
+    }
+
+    /// Reclaim the allocation as a [`BytesMut`] if this handle is the sole
+    /// owner; otherwise return `self` unchanged.
+    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+        let Bytes { repr, offset, len } = self;
+        match repr {
+            Repr::Shared(arc) => match Arc::try_unwrap(arc) {
+                Ok(mut v) => {
+                    if offset > 0 {
+                        v.drain(..offset);
+                    }
+                    v.truncate(len);
+                    Ok(BytesMut { buf: v })
+                }
+                Err(arc) => Err(Bytes { repr: Repr::Shared(arc), offset, len }),
+            },
+            repr => Err(Bytes { repr, offset, len }),
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_ref_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_ref_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_ref_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let len = v.len();
+        Bytes { repr: Repr::Shared(Arc::new(v)), offset: 0, len }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(b: Box<[u8]>) -> Bytes {
+        Bytes::from(b.into_vec())
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(m: BytesMut) -> Bytes {
+        m.freeze()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_ref_slice() == other.as_ref_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_ref_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_ref_slice() == *other
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_ref_slice().hash(state);
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_ref_slice().cmp(other.as_ref_slice())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_ref_slice().iter().take(64) {
+            if b.is_ascii_graphic() || b == b' ' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        if self.len > 64 {
+            write!(f, "…({} bytes)", self.len)?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_ref_slice().iter()
+    }
+}
+
+/// Write-side trait: append primitive values to a growable buffer.
+pub trait BufMut {
+    /// Append a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian u16.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u32.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u64.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Buffer of `len` zero bytes.
+    pub fn zeroed(len: usize) -> BytesMut {
+        BytesMut { buf: vec![0; len] }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Current capacity.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Reserve additional capacity.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Shorten to `len` (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.buf.truncate(len);
+    }
+
+    /// Clear contents, keeping capacity.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Set length, zero-filling any growth.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.buf.resize(new_len, value);
+    }
+
+    /// Convert into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> BytesMut {
+        BytesMut { buf: s.to_vec() }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> BytesMut {
+        BytesMut { buf: v }
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.buf.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_is_zero_copy_view() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let s2 = s.slice(..2);
+        assert_eq!(&s2[..], &[2, 3]);
+    }
+
+    #[test]
+    fn static_and_owner() {
+        let b = Bytes::from_static(b"hello");
+        assert_eq!(b.len(), 5);
+        let o = Bytes::from_owner(vec![9u8, 8, 7]);
+        assert_eq!(&o[..], &[9, 8, 7]);
+    }
+
+    #[test]
+    fn eq_and_hash_by_content() {
+        use std::collections::HashSet;
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = Bytes::from_static(&[1, 2, 3]);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn bytesmut_roundtrip() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u32_le(0xdeadbeef);
+        m.put_u8(7);
+        m.put_slice(b"xy");
+        m.truncate(6);
+        let b = m.freeze();
+        assert_eq!(&b[..4], &0xdeadbeef_u32.to_le_bytes());
+        assert_eq!(b.len(), 6);
+    }
+
+    #[test]
+    fn zeroed_len() {
+        let z = BytesMut::zeroed(10);
+        assert_eq!(z.len(), 10);
+        assert!(z.iter().all(|&b| b == 0));
+    }
+}

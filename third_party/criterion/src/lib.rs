@@ -1,0 +1,286 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Keeps the bench-authoring surface (`Criterion`, `benchmark_group`,
+//! `Bencher::iter`/`iter_batched`, `Throughput`, `black_box`,
+//! `criterion_group!`/`criterion_main!`) but replaces the statistical
+//! machinery with a simple calibrated wall-clock loop: per benchmark it
+//! runs a short warm-up to size the iteration count, measures
+//! `sample_size` samples, and prints the median per-iteration time (plus
+//! derived throughput when one was declared).
+//!
+//! `--bench` and benchmark-name filter arguments from `cargo bench` are
+//! accepted; everything else is ignored.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Declared work-per-iteration, used to report derived throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How much setup output to build per batch in [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// One setup per measured iteration.
+    SmallInput,
+    /// One setup per measured iteration (alias here).
+    LargeInput,
+    /// One setup per measured iteration (alias here).
+    PerIteration,
+}
+
+/// Passed to each benchmark closure; runs and times the workload.
+pub struct Bencher<'a> {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_size: usize,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: find an iteration count that runs long enough to time.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Measure `routine` on fresh input from `setup` each iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.iters_per_sample = 1;
+        self.samples.clear();
+        for _ in 0..self.sample_size.max(1) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median_per_iter(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        Some(median / u32::try_from(self.iters_per_sample).unwrap_or(u32::MAX))
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<String>,
+        F: FnOnce(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        if !self.criterion.matches_filter(&full) {
+            return self;
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_size: self.sample_size,
+            _marker: std::marker::PhantomData,
+        };
+        f(&mut b);
+        match b.median_per_iter() {
+            Some(per_iter) => {
+                let rate = self.throughput.map(|t| describe_rate(t, per_iter));
+                println!(
+                    "bench {full:<50} {:>12}/iter{}",
+                    format_duration(per_iter),
+                    rate.map(|r| format!("   {r}")).unwrap_or_default()
+                );
+            }
+            None => println!("bench {full:<50} (no samples)"),
+        }
+        self
+    }
+
+    /// Finish the group (no-op; samples print as they run).
+    pub fn finish(&mut self) {}
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+fn describe_rate(t: Throughput, per_iter: Duration) -> String {
+    let secs = per_iter.as_secs_f64().max(1e-12);
+    match t {
+        Throughput::Bytes(b) => {
+            let mibps = b as f64 / secs / (1024.0 * 1024.0);
+            format!("{mibps:.1} MiB/s")
+        }
+        Throughput::Elements(n) => {
+            let eps = n as f64 / secs;
+            format!("{eps:.0} elem/s")
+        }
+    }
+}
+
+/// The bench harness handle.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    /// Parse `cargo bench` CLI arguments (`--bench`, optional name filter).
+    fn default() -> Criterion {
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" | "--test" | "--nocapture" => {}
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<String>,
+        F: FnOnce(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        self.benchmark_group(&id).bench_function("single", f);
+        self
+    }
+
+    fn matches_filter(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Final configuration hook (no-op).
+    pub fn final_summary(&self) {}
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion { filter: None };
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("nomatch".into()) };
+        let mut g = c.benchmark_group("demo");
+        g.bench_function("skipped", |_b| panic!("must not run"));
+        g.finish();
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/third_party/parking_lot/target/debug/deps/parking_lot-505fe32e32e19f78.d: src/lib.rs
+
+/root/repo/third_party/parking_lot/target/debug/deps/parking_lot-505fe32e32e19f78: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/third_party/parking_lot/target/debug/deps/parking_lot-fa1319cb2f61dd41.d: src/lib.rs
+
+/root/repo/third_party/parking_lot/target/debug/deps/libparking_lot-fa1319cb2f61dd41.rlib: src/lib.rs
+
+/root/repo/third_party/parking_lot/target/debug/deps/libparking_lot-fa1319cb2f61dd41.rmeta: src/lib.rs
+
+src/lib.rs:

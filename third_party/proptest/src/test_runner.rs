@@ -1,0 +1,97 @@
+//! Case runner and configuration for the proptest stand-in.
+
+use rand::{SeedableRng, StdRng};
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Accepted for compatibility; this stand-in never shrinks.
+    pub max_shrink_iters: u32,
+    /// Cap on `prop_assume!` rejections before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256, max_shrink_iters: 1024, max_global_rejects: 65536 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// A `prop_assert*` failed: the property is violated.
+    Fail(String),
+    /// A `prop_assume!` failed: discard this case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Property violation.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Case discard.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+        }
+    }
+}
+
+/// Stable seed derived from the test name (FNV-1a), so every run samples
+/// the same cases — reproducibility instead of OS entropy.
+fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run `config.cases` sampled cases of `case`, which returns the debug
+/// rendering of the sampled inputs plus the case outcome. Panics (like a
+/// failed `#[test]`) on the first `Fail`, printing the inputs.
+pub fn run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut StdRng) -> (String, Result<(), TestCaseError>),
+) {
+    let mut rng = StdRng::seed_from_u64(seed_for(name));
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        if rejected > config.max_global_rejects {
+            panic!(
+                "proptest '{name}': too many prop_assume! rejections \
+                 ({rejected} rejects for {passed} passes)"
+            );
+        }
+        let (dbg, outcome) = case(&mut rng);
+        match outcome {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => rejected += 1,
+            Err(TestCaseError::Fail(reason)) => {
+                panic!("proptest case failed: {reason}\n  test: {name}\n  inputs: {dbg}");
+            }
+        }
+    }
+}

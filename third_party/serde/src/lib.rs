@@ -1,0 +1,558 @@
+//! Minimal offline stand-in for the `serde` crate.
+//!
+//! Instead of serde's visitor-based zero-copy architecture, this stand-in
+//! routes everything through one owned tree type, [`Content`] (the same
+//! role as `serde_json::Value`, but format-agnostic). `Serialize` renders
+//! a value into a `Content` tree; `Deserialize` rebuilds a value from one.
+//! The companion `serde_derive` stand-in generates impls against exactly
+//! this surface, and the `serde_json` stand-in converts `Content` to and
+//! from JSON text.
+//!
+//! Fidelity notes (matching real serde where this workspace depends on it):
+//! - structs ↔ string-keyed maps; missing fields honor `#[serde(default)]`
+//!   and `Option` fields fall back to `None`;
+//! - enums use the externally-tagged representation (`"Variant"` for unit
+//!   variants, `{"Variant": payload}` otherwise);
+//! - `Duration` serializes as `{"secs": u64, "nanos": u32}`;
+//! - integer map keys round-trip through their string form, as they do
+//!   through JSON.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+use std::time::Duration;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The owned data-model tree every value serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (negative values land here).
+    I64(i64),
+    /// Unsigned integer (non-negative integers land here).
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (arrays, tuples, tuple structs).
+    Seq(Vec<Content>),
+    /// Ordered key/value pairs (structs, maps, tagged enum payloads).
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// Borrow the map entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(Content, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow the elements if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow the string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Short name of this node's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) => "integer",
+            Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Look up a string key in map entries (helper for generated code).
+pub fn __content_get<'a>(entries: &'a [(Content, Content)], key: &str) -> Option<&'a Content> {
+    entries.iter().find_map(|(k, v)| match k {
+        Content::Str(s) if s == key => Some(v),
+        _ => None,
+    })
+}
+
+/// Deserialization error: a plain message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Build an error from any message.
+    pub fn new(msg: impl Into<String>) -> DeError {
+        DeError(msg.into())
+    }
+
+    /// serde-compatible constructor name.
+    pub fn custom(msg: impl fmt::Display) -> DeError {
+        DeError(msg.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render `self` into a [`Content`] tree.
+pub trait Serialize {
+    /// Produce the data-model tree for this value.
+    fn ser(&self) -> Content;
+}
+
+/// Rebuild `Self` from a [`Content`] tree. The lifetime mirrors real
+/// serde's signature; this owned-tree stand-in never borrows from input.
+pub trait Deserialize<'de>: Sized {
+    /// Parse from the data-model tree.
+    fn deser(content: &Content) -> Result<Self, DeError>;
+
+    /// Value to use when a struct field is absent (no `#[serde(default)]`).
+    /// Errors for everything except `Option`, matching serde semantics.
+    fn deser_missing(field: &str) -> Result<Self, DeError> {
+        Err(DeError::new(format!("missing field `{field}`")))
+    }
+}
+
+/// Owned deserialization marker, as in `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Mirror of `serde::de`.
+pub mod de {
+    pub use super::{DeError as Error, Deserialize, DeserializeOwned};
+}
+
+/// Mirror of `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn ser(&self) -> Content {
+        (**self).ser()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn ser(&self) -> Content {
+        (**self).ser()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn ser(&self) -> Content {
+        (**self).ser()
+    }
+}
+
+impl Serialize for bool {
+    fn ser(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn ser(&self) -> Content {
+        if *self <= u64::MAX as u128 {
+            Content::U64(*self as u64)
+        } else {
+            Content::F64(*self as f64)
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn ser(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn ser(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Serialize for char {
+    fn ser(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn ser(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn ser(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for () {
+    fn ser(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn ser(&self) -> Content {
+        match self {
+            Some(v) => v.ser(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn ser(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn ser(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn ser(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($idx:tt $name:ident),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn ser(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.ser()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn ser(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.ser(), v.ser())).collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn ser(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.ser(), v.ser())).collect())
+    }
+}
+
+impl Serialize for Duration {
+    fn ser(&self) -> Content {
+        Content::Map(vec![
+            (Content::Str("secs".into()), Content::U64(self.as_secs())),
+            (Content::Str("nanos".into()), Content::U64(u64::from(self.subsec_nanos()))),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+fn want(expected: &str, got: &Content) -> DeError {
+    DeError::new(format!("expected {expected}, found {}", got.kind()))
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deser(c: &Content) -> Result<bool, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(want("bool", c)),
+        }
+    }
+}
+
+/// Integers accept either integer node and, for JSON map keys, the string
+/// form (JSON object keys are always strings).
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deser(c: &Content) -> Result<$t, DeError> {
+                let out_of_range = || DeError::new(format!(
+                    "integer out of range for {}", stringify!($t)
+                ));
+                match c {
+                    Content::U64(v) => <$t>::try_from(*v).map_err(|_| out_of_range()),
+                    Content::I64(v) => <$t>::try_from(*v).map_err(|_| out_of_range()),
+                    Content::F64(v) if v.fract() == 0.0 => Ok(*v as $t),
+                    Content::Str(s) => s.parse::<$t>().map_err(|_| want("integer", c)),
+                    _ => Err(want("integer", c)),
+                }
+            }
+        }
+    )*};
+}
+de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for u128 {
+    fn deser(c: &Content) -> Result<u128, DeError> {
+        match c {
+            Content::U64(v) => Ok(u128::from(*v)),
+            Content::I64(v) => u128::try_from(*v).map_err(|_| want("u128", c)),
+            Content::F64(v) if *v >= 0.0 => Ok(*v as u128),
+            Content::Str(s) => s.parse::<u128>().map_err(|_| want("u128", c)),
+            _ => Err(want("u128", c)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deser(c: &Content) -> Result<f64, DeError> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            _ => Err(want("float", c)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deser(c: &Content) -> Result<f32, DeError> {
+        f64::deser(c).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deser(c: &Content) -> Result<char, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(want("single-char string", c)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deser(c: &Content) -> Result<String, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(want("string", c)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deser(c: &Content) -> Result<(), DeError> {
+        match c {
+            Content::Null => Ok(()),
+            _ => Err(want("null", c)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deser(c: &Content) -> Result<Option<T>, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deser(other).map(Some),
+        }
+    }
+
+    fn deser_missing(_field: &str) -> Result<Option<T>, DeError> {
+        Ok(None)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deser(c: &Content) -> Result<Box<T>, DeError> {
+        T::deser(c).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::sync::Arc<T> {
+    fn deser(c: &Content) -> Result<std::sync::Arc<T>, DeError> {
+        T::deser(c).map(std::sync::Arc::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deser(c: &Content) -> Result<Vec<T>, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::deser).collect(),
+            _ => Err(want("sequence", c)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deser(c: &Content) -> Result<[T; N], DeError> {
+        let v = Vec::<T>::deser(c)?;
+        <[T; N]>::try_from(v)
+            .map_err(|v: Vec<T>| DeError::new(format!("expected {N} elements, found {}", v.len())))
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal: $($idx:tt $name:ident),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deser(c: &Content) -> Result<($($name,)+), DeError> {
+                let items = c.as_seq().ok_or_else(|| want("sequence", c))?;
+                if items.len() != $len {
+                    return Err(DeError::new(format!(
+                        "expected tuple of {}, found {} elements", $len, items.len()
+                    )));
+                }
+                Ok(($($name::deser(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1: 0 A)
+    (2: 0 A, 1 B)
+    (3: 0 A, 1 B, 2 C)
+    (4: 0 A, 1 B, 2 C, 3 D)
+}
+
+impl<'de, K, V> Deserialize<'de> for HashMap<K, V>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+{
+    fn deser(c: &Content) -> Result<HashMap<K, V>, DeError> {
+        match c {
+            Content::Map(entries) => {
+                entries.iter().map(|(k, v)| Ok((K::deser(k)?, V::deser(v)?))).collect()
+            }
+            _ => Err(want("map", c)),
+        }
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deser(c: &Content) -> Result<BTreeMap<K, V>, DeError> {
+        match c {
+            Content::Map(entries) => {
+                entries.iter().map(|(k, v)| Ok((K::deser(k)?, V::deser(v)?))).collect()
+            }
+            _ => Err(want("map", c)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Duration {
+    fn deser(c: &Content) -> Result<Duration, DeError> {
+        let m = c.as_map().ok_or_else(|| want("duration map", c))?;
+        let secs = __content_get(m, "secs").ok_or_else(|| DeError::new("missing field `secs`"))?;
+        let nanos =
+            __content_get(m, "nanos").ok_or_else(|| DeError::new("missing field `nanos`"))?;
+        Ok(Duration::new(u64::deser(secs)?, u32::deser(nanos)?))
+    }
+}
+
+impl Serialize for Content {
+    fn ser(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Content {
+    fn deser(c: &Content) -> Result<Content, DeError> {
+        Ok(c.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_missing_is_none() {
+        assert_eq!(Option::<u32>::deser_missing("x"), Ok(None));
+        assert!(u32::deser_missing("x").is_err());
+    }
+
+    #[test]
+    fn numeric_widening_and_keys() {
+        assert_eq!(u64::deser(&Content::Str("17".into())), Ok(17));
+        assert_eq!(i64::deser(&Content::U64(5)), Ok(5));
+        assert_eq!(f64::deser(&Content::I64(-2)), Ok(-2.0));
+        assert!(u8::deser(&Content::U64(300)).is_err());
+    }
+
+    #[test]
+    fn duration_roundtrip() {
+        let d = Duration::new(3, 500);
+        assert_eq!(Duration::deser(&d.ser()), Ok(d));
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v = vec![(1usize, "a".to_string()), (2, "b".to_string())];
+        let m: HashMap<usize, String> = v.into_iter().collect();
+        assert_eq!(HashMap::<usize, String>::deser(&m.ser()), Ok(m));
+        let t = (1u32, "x".to_string(), 2.5f64);
+        assert_eq!(<(u32, String, f64)>::deser(&t.ser()), Ok(t));
+    }
+}

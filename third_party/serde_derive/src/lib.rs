@@ -1,0 +1,511 @@
+//! Minimal offline stand-in for `serde_derive`, written without `syn` or
+//! `quote`: the item is hand-parsed from the raw `TokenStream` and the
+//! generated impl is rendered as a string, then re-parsed.
+//!
+//! Supported input shapes (everything this workspace derives on):
+//! - non-generic structs: named fields, tuple/newtype, unit;
+//! - non-generic enums: unit, newtype, tuple, and struct variants
+//!   (externally tagged representation);
+//! - field attributes `#[serde(default)]`, `#[serde(default = "path")]`,
+//!   and `#[serde(skip_serializing_if = "path")]`.
+//!
+//! Generated code targets the `Content`-tree traits of the companion
+//! `serde` stand-in rather than real serde's visitor API.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (stand-in surface: `fn ser(&self) -> Content`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` (stand-in surface: `fn deser(&Content)`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed shape
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct FieldAttrs {
+    /// `#[serde(default)]` → `Some(None)`; `#[serde(default = "p")]` → `Some(Some(p))`.
+    default: Option<Option<String>>,
+    /// `#[serde(skip_serializing_if = "p")]`.
+    skip_serializing_if: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum Shape {
+    Unit,
+    /// Tuple struct / tuple variant with this arity.
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Body {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stand-in derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stand-in derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive: generic type `{name}` is not supported");
+    }
+
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_struct_shape(&toks, &mut i)),
+        "enum" => {
+            let group = expect_group(&toks, &mut i, Delimiter::Brace, "enum body");
+            Body::Enum(parse_variants(group))
+        }
+        other => panic!("serde stand-in derive: cannot derive on `{other}` items"),
+    };
+    let _ = toks.pop();
+    Item { name, body }
+}
+
+fn parse_struct_shape(toks: &[TokenTree], i: &mut usize) -> Shape {
+    match toks.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = parse_named_fields(g.stream());
+            *i += 1;
+            Shape::Named(fields)
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let arity = tuple_arity(g.stream());
+            *i += 1;
+            Shape::Tuple(arity)
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+            *i += 1;
+            Shape::Unit
+        }
+        other => panic!("serde stand-in derive: unexpected struct body {other:?}"),
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stand-in derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                i += 1;
+                Shape::Tuple(arity)
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let attrs = collect_field_attrs(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stand-in derive: expected field name, found {other}"),
+        };
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stand-in derive: expected `:` after field, found {other}"),
+        }
+        skip_type(&toks, &mut i);
+        fields.push(Field { name, attrs });
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Count top-level comma-separated entries in a tuple body.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut depth = 0i32;
+    let mut trailing_comma = false;
+    for t in &toks {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    arity += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        arity -= 1;
+    }
+    arity
+}
+
+/// Consume a field type: everything until a top-level comma.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            },
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if matches!(&toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            toks.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    while matches!(&toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1; // '#'
+        *i += 1; // [...]
+    }
+}
+
+fn collect_field_attrs(toks: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    while matches!(&toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        let group = match &toks[*i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => g.stream(),
+            other => panic!("serde stand-in derive: expected attribute body, found {other}"),
+        };
+        *i += 1;
+        parse_serde_attr(group, &mut attrs);
+    }
+    attrs
+}
+
+/// Inspect one attribute body; record serde options, ignore everything else.
+fn parse_serde_attr(stream: TokenStream, attrs: &mut FieldAttrs) {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let inner = match toks.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return,
+    };
+    let inner: Vec<TokenTree> = inner.into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        let key = match &inner[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => {
+                j += 1;
+                continue;
+            }
+        };
+        j += 1;
+        let value = if matches!(inner.get(j), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            j += 1;
+            let lit = match &inner[j] {
+                TokenTree::Literal(l) => l.to_string(),
+                other => {
+                    panic!("serde stand-in derive: expected string after `{key} =`, found {other}")
+                }
+            };
+            j += 1;
+            Some(lit.trim_matches('"').to_string())
+        } else {
+            None
+        };
+        match key.as_str() {
+            "default" => attrs.default = Some(value),
+            "skip_serializing_if" => {
+                attrs.skip_serializing_if = Some(value.expect("skip_serializing_if needs a path"));
+            }
+            other => panic!("serde stand-in derive: unsupported serde attribute `{other}`"),
+        }
+        if matches!(inner.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            j += 1;
+        }
+    }
+}
+
+fn expect_group(toks: &[TokenTree], i: &mut usize, delim: Delimiter, what: &str) -> TokenStream {
+    match &toks[*i] {
+        TokenTree::Group(g) if g.delimiter() == delim => {
+            *i += 1;
+            g.stream()
+        }
+        other => panic!("serde stand-in derive: expected {what}, found {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Shape::Unit) => "serde::Content::Null".to_string(),
+        Body::Struct(Shape::Tuple(1)) => "serde::Serialize::ser(&self.0)".to_string(),
+        Body::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> =
+                (0..*n).map(|k| format!("serde::Serialize::ser(&self.{k})")).collect();
+            format!("serde::Content::Seq(vec![{}])", elems.join(", "))
+        }
+        Body::Struct(Shape::Named(fields)) => ser_named_fields(fields, "self.", ""),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => serde::Content::Str(String::from(\"{vn}\")),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => serde::Content::Map(vec![(serde::Content::Str(String::from(\"{vn}\")), serde::Serialize::ser(__f0))]),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| format!("serde::Serialize::ser(__f{k})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Content::Map(vec![(serde::Content::Str(String::from(\"{vn}\")), serde::Content::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let inner = ser_named_fields(fields, "", "");
+                            format!(
+                                "{name}::{vn} {{ {} }} => {{ let __payload = {inner}; serde::Content::Map(vec![(serde::Content::Str(String::from(\"{vn}\")), __payload)]) }},",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn ser(&self) -> serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Render named fields into a `Content::Map` expression. `access` is the
+/// prefix before each field name (`self.` for structs, empty for bound
+/// pattern variables in enum struct variants).
+fn ser_named_fields(fields: &[Field], access: &str, deref: &str) -> String {
+    let mut out =
+        String::from("{ let mut __m: Vec<(serde::Content, serde::Content)> = Vec::new();\n");
+    for f in fields {
+        let fname = &f.name;
+        let value = format!("serde::Serialize::ser(&{deref}{access}{fname})");
+        let push = format!("__m.push((serde::Content::Str(String::from(\"{fname}\")), {value}));");
+        if let Some(pred) = &f.attrs.skip_serializing_if {
+            out.push_str(&format!("if !{pred}(&{deref}{access}{fname}) {{ {push} }}\n"));
+        } else {
+            out.push_str(&push);
+            out.push('\n');
+        }
+    }
+    out.push_str("serde::Content::Map(__m) }");
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Shape::Unit) => format!("std::result::Result::Ok({name})"),
+        Body::Struct(Shape::Tuple(1)) => {
+            format!("std::result::Result::Ok({name}(serde::Deserialize::deser(__c)?))")
+        }
+        Body::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> =
+                (0..*n).map(|k| format!("serde::Deserialize::deser(&__items[{k}])?")).collect();
+            format!(
+                "{{ let __items = __c.as_seq().ok_or_else(|| serde::DeError::new(\"{name}: expected sequence\"))?;\n\
+                 if __items.len() != {n} {{ return Err(serde::DeError::new(\"{name}: wrong tuple arity\")); }}\n\
+                 std::result::Result::Ok({name}({})) }}",
+                elems.join(", ")
+            )
+        }
+        Body::Struct(Shape::Named(fields)) => {
+            format!(
+                "{{ let __m = __c.as_map().ok_or_else(|| serde::DeError::new(\"{name}: expected map\"))?;\n\
+                 std::result::Result::Ok({name} {{ {} }}) }}",
+                de_named_fields(fields)
+            )
+        }
+        Body::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deser(__c: &serde::Content) -> std::result::Result<Self, serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn de_named_fields(fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let fname = &f.name;
+        let fallback = match &f.attrs.default {
+            Some(None) => "std::default::Default::default()".to_string(),
+            Some(Some(path)) => format!("{path}()"),
+            None => format!("serde::Deserialize::deser_missing(\"{fname}\")?"),
+        };
+        out.push_str(&format!(
+            "{fname}: match serde::__content_get(__m, \"{fname}\") {{\n\
+                 std::option::Option::Some(__v) => serde::Deserialize::deser(__v)?,\n\
+                 std::option::Option::None => {fallback},\n\
+             }},\n"
+        ));
+    }
+    out
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    // Unit variants arrive as bare strings.
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| format!("\"{0}\" => std::result::Result::Ok({name}::{0}),", v.name))
+        .collect();
+    // Payload variants arrive as single-entry maps.
+    let map_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            match &v.shape {
+                Shape::Unit => None,
+                Shape::Tuple(1) => Some(format!(
+                    "\"{vn}\" => std::result::Result::Ok({name}::{vn}(serde::Deserialize::deser(__v)?)),"
+                )),
+                Shape::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|k| format!("serde::Deserialize::deser(&__items[{k}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vn}\" => {{ let __items = __v.as_seq().ok_or_else(|| serde::DeError::new(\"{name}::{vn}: expected sequence\"))?;\n\
+                         if __items.len() != {n} {{ return Err(serde::DeError::new(\"{name}::{vn}: wrong arity\")); }}\n\
+                         std::result::Result::Ok({name}::{vn}({})) }},",
+                        elems.join(", ")
+                    ))
+                }
+                Shape::Named(fields) => Some(format!(
+                    "\"{vn}\" => {{ let __m = __v.as_map().ok_or_else(|| serde::DeError::new(\"{name}::{vn}: expected map\"))?;\n\
+                     std::result::Result::Ok({name}::{vn} {{ {} }}) }},",
+                    de_named_fields(fields)
+                )),
+            }
+        })
+        .collect();
+    format!(
+        "match __c {{\n\
+             serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {unit}\n\
+                 __other => Err(serde::DeError::new(format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+             }},\n\
+             serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__k, __v) = &__entries[0];\n\
+                 let __k = match __k {{ serde::Content::Str(__s) => __s.as_str(), _ => return Err(serde::DeError::new(\"{name}: non-string variant tag\")) }};\n\
+                 match __k {{\n\
+                     {maps}\n\
+                     __other => Err(serde::DeError::new(format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                 }}\n\
+             }}\n\
+             __other => Err(serde::DeError::new(format!(\"{name}: expected variant tag, found {{}}\", __other.kind()))),\n\
+         }}",
+        unit = unit_arms.join("\n"),
+        maps = map_arms.join("\n"),
+    )
+}

@@ -1,0 +1,150 @@
+//! Minimal offline stand-in for the `serde_json` crate, built on the
+//! `Content`-tree stand-in `serde`.
+//!
+//! Provides [`Value`]/[`Map`]/[`Number`], the `to_string`/`to_vec`
+//! (+`_pretty`) and `from_str`/`from_slice` entry points, a recursive
+//! descent JSON parser, and a [`json!`] macro with the classic
+//! token-muncher shape so nested object literals work.
+
+use std::fmt;
+
+mod macros;
+mod parse;
+mod print;
+mod value;
+
+pub use value::{Map, Number, Value};
+
+/// Error raised by JSON parsing or serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error(e.to_string())
+    }
+}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(print::print(&value.ser(), false))
+}
+
+/// Serialize to a pretty-printed (2-space indented) JSON string.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(print::print(&value.ser(), true))
+}
+
+/// Serialize to compact JSON bytes.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serialize to pretty-printed JSON bytes.
+pub fn to_vec_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+/// Serialize into a writer (compact).
+pub fn to_writer<W: std::io::Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<()> {
+    writer.write_all(to_string(value)?.as_bytes()).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Deserialize from a JSON string.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T> {
+    let content = parse::parse(s)?;
+    T::deser(&content).map_err(Error::from)
+}
+
+/// Deserialize from JSON bytes.
+pub fn from_slice<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Convert any serializable value into a [`Value`] tree (infallible here;
+/// used by the `json!` macro).
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    Value::from_content(&value.ser())
+}
+
+/// Convert a [`Value`] tree into any deserializable type.
+pub fn from_value<T: serde::de::DeserializeOwned>(value: Value) -> Result<T> {
+    T::deser(&value.into_content()).map_err(Error::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_compact() {
+        let v: Value =
+            from_str(r#"{"a": [1, -2, 3.5], "b": null, "c": "x\ny", "d": true}"#).unwrap();
+        let s = to_string(&v).unwrap();
+        let v2: Value = from_str(&s).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let n = 7u64;
+        let v = json!({
+            "flat": n,
+            "nested": { "deep": [1, 2], "flag": false },
+            "s": "hi",
+        });
+        assert_eq!(v["flat"], 7);
+        assert_eq!(v["nested"]["deep"][1], 2);
+        assert_eq!(v["nested"]["flag"], false);
+        assert_eq!(v["s"], "hi");
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn pretty_parses_back() {
+        let v = json!({"k": [true, null, {"x": 1.25}]});
+        let pretty = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        let v = json!({"f": 0.1, "g": 1e300, "h": 1.0});
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back["f"].as_f64(), Some(0.1));
+        assert_eq!(back["g"].as_f64(), Some(1e300));
+        assert_eq!(back["h"].as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v: Value = from_str(r#""a\"b\\cA\n\té""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\cA\n\t\u{e9}"));
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+}

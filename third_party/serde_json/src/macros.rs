@@ -1,0 +1,117 @@
+//! The `json!` macro: a token-muncher so object/array literals can nest
+//! and values can be arbitrary expressions (the standard construction for
+//! JSON literal macros; `$value:expr` alone cannot absorb `{ .. }`).
+
+/// Build a [`crate::Value`] from a JSON-like literal.
+///
+/// Supports `null`, booleans, numbers, strings, arbitrary serializable
+/// expressions, arrays `[ .. ]`, and nested objects `{ "key": value }`.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => {
+        $crate::json_internal!($($tt)+)
+    };
+}
+
+/// Implementation detail of [`json!`]; do not use directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- terminals -------------------------------------------------------
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+
+    // ---- arrays ----------------------------------------------------------
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+
+    // ---- objects ---------------------------------------------------------
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut __object = $crate::Map::new();
+        $crate::json_internal!(@object __object () ($($tt)+));
+        $crate::Value::Object(__object)
+    }};
+
+    // ---- any other expression -------------------------------------------
+    ($other:expr) => { $crate::to_value(&$other) };
+
+    // ======================================================================
+    // @array: accumulate parsed elements in [$($elems),*]
+    // ======================================================================
+    // Done (ignore optional trailing comma already consumed).
+    (@array [$($elems:expr,)*]) => {
+        <[_]>::into_vec(::std::boxed::Box::new([$($elems,)*]))
+    };
+    // Next element is a nested array.
+    (@array [$($elems:expr,)*] [$($arr:tt)*] $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($arr)*]),] $($($rest)*)?)
+    };
+    // Next element is a nested object.
+    (@array [$($elems:expr,)*] {$($map:tt)*} $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*}),] $($($rest)*)?)
+    };
+    // Next element is `null` / `true` / `false`.
+    (@array [$($elems:expr,)*] null $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Null,] $($($rest)*)?)
+    };
+    (@array [$($elems:expr,)*] true $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Bool(true),] $($($rest)*)?)
+    };
+    (@array [$($elems:expr,)*] false $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Bool(false),] $($($rest)*)?)
+    };
+    // Next element is an expression followed by comma (or last).
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::to_value(&$next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::to_value(&$last),])
+    };
+
+    // ======================================================================
+    // @object: munch `key: value` pairs into $object
+    // (current key accumulates in the () group until `:` is seen)
+    // ======================================================================
+    // Done.
+    (@object $object:ident () ()) => {};
+    // Value is a nested object.
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $(, $($rest:tt)*)?)) => {
+        $object.insert(($($key)+).into(), $crate::json_internal!({$($map)*}));
+        $crate::json_internal!(@object $object () ($($($rest)*)?));
+    };
+    // Value is a nested array.
+    (@object $object:ident ($($key:tt)+) (: [$($arr:tt)*] $(, $($rest:tt)*)?)) => {
+        $object.insert(($($key)+).into(), $crate::json_internal!([$($arr)*]));
+        $crate::json_internal!(@object $object () ($($($rest)*)?));
+    };
+    // Value is `null` / `true` / `false`.
+    (@object $object:ident ($($key:tt)+) (: null $(, $($rest:tt)*)?)) => {
+        $object.insert(($($key)+).into(), $crate::Value::Null);
+        $crate::json_internal!(@object $object () ($($($rest)*)?));
+    };
+    (@object $object:ident ($($key:tt)+) (: true $(, $($rest:tt)*)?)) => {
+        $object.insert(($($key)+).into(), $crate::Value::Bool(true));
+        $crate::json_internal!(@object $object () ($($($rest)*)?));
+    };
+    (@object $object:ident ($($key:tt)+) (: false $(, $($rest:tt)*)?)) => {
+        $object.insert(($($key)+).into(), $crate::Value::Bool(false));
+        $crate::json_internal!(@object $object () ($($($rest)*)?));
+    };
+    // Value is an expression followed by a comma.
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*)) => {
+        $object.insert(($($key)+).into(), $crate::to_value(&$value));
+        $crate::json_internal!(@object $object () ($($rest)*));
+    };
+    // Value is the last expression (no trailing comma).
+    (@object $object:ident ($($key:tt)+) (: $value:expr)) => {
+        $object.insert(($($key)+).into(), $crate::to_value(&$value));
+    };
+    // Munch one token into the current key.
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*)) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*));
+    };
+}

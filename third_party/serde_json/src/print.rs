@@ -1,0 +1,113 @@
+//! JSON printer (compact and 2-space-indented pretty form).
+
+use serde::Content;
+
+pub(crate) fn print(c: &Content, pretty: bool) -> String {
+    let mut out = String::new();
+    write_value(&mut out, c, pretty, 0);
+    out
+}
+
+fn write_value(out: &mut String, c: &Content, pretty: bool, indent: usize) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => {
+            if v.is_finite() {
+                // {:?} prints the shortest representation that round-trips.
+                out.push_str(&format!("{v:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Content::Str(s) => write_string(out, s),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    newline_indent(out, indent + 1);
+                }
+                write_value(out, item, pretty, indent + 1);
+            }
+            if pretty {
+                newline_indent(out, indent);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    newline_indent(out, indent + 1);
+                }
+                write_key(out, k);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, v, pretty, indent + 1);
+            }
+            if pretty {
+                newline_indent(out, indent);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// JSON object keys must be strings; stringify non-string keys (this is
+/// how integer-keyed maps round-trip, matching real serde_json).
+fn write_key(out: &mut String, k: &Content) {
+    match k {
+        Content::Str(s) => write_string(out, s),
+        Content::U64(v) => write_string(out, &v.to_string()),
+        Content::I64(v) => write_string(out, &v.to_string()),
+        Content::Bool(v) => write_string(out, &v.to_string()),
+        Content::F64(v) => write_string(out, &format!("{v:?}")),
+        other => write_string(out, &print(other, false)),
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn newline_indent(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}

@@ -1,0 +1,443 @@
+//! `Value`, `Map`, and `Number` — the JSON document model.
+
+use serde::Content;
+use std::fmt;
+
+/// An insertion-ordered string-keyed map (the `Value::Object` payload).
+///
+/// Backed by a `Vec` of pairs: JSON documents in this workspace are small
+/// and order-preserving output is worth more than O(1) lookup.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl Map<String, Value> {
+    /// Empty map.
+    pub fn new() -> Map<String, Value> {
+        Map { entries: Vec::new() }
+    }
+
+    /// Insert, replacing any existing entry with the same key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find_map(|(k, v)| (k == key).then_some(v))
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries.iter_mut().find_map(|(k, v)| (k.as_str() == key).then_some(v))
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Remove and return the entry with this key.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterate keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterate values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl FromIterator<(String, Value)> for Map<String, Value> {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl IntoIterator for Map<String, Value> {
+    type Item = (String, Value);
+    type IntoIter = std::vec::IntoIter<(String, Value)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+/// A JSON number: either integer (signed/unsigned) or float.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Floating point.
+    Float(f64),
+}
+
+impl Number {
+    /// As u64 if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Number::PosInt(v) => Some(*v),
+            Number::NegInt(v) => u64::try_from(*v).ok(),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// As i64 if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Number::PosInt(v) => i64::try_from(*v).ok(),
+            Number::NegInt(v) => Some(*v),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// As f64 (always representable, possibly lossy).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Number::PosInt(v) => Some(*v as f64),
+            Number::NegInt(v) => Some(*v as f64),
+            Number::Float(v) => Some(*v),
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Number) -> bool {
+        match (self, other) {
+            (Number::Float(a), Number::Float(b)) => a == b,
+            (Number::Float(_), _) | (_, Number::Float(_)) => self.as_f64() == other.as_f64(),
+            _ => match (self.as_i64(), other.as_i64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => self.as_u64() == other.as_u64(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::PosInt(v) => write!(f, "{v}"),
+            Number::NegInt(v) => write!(f, "{v}"),
+            // {:?} gives the shortest string that round-trips the float;
+            // non-finite values are not representable in JSON.
+            Number::Float(v) if v.is_finite() => write!(f, "{v:?}"),
+            Number::Float(_) => write!(f, "null"),
+        }
+    }
+}
+
+/// A JSON document node.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Build from a serde `Content` tree.
+    pub fn from_content(c: &Content) -> Value {
+        match c {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(*b),
+            Content::I64(v) => Value::Number(Number::NegInt(*v)),
+            Content::U64(v) => Value::Number(Number::PosInt(*v)),
+            Content::F64(v) => Value::Number(Number::Float(*v)),
+            Content::Str(s) => Value::String(s.clone()),
+            Content::Seq(items) => Value::Array(items.iter().map(Value::from_content).collect()),
+            Content::Map(entries) => {
+                let mut m = Map::new();
+                for (k, v) in entries {
+                    let key = match k {
+                        Content::Str(s) => s.clone(),
+                        Content::U64(n) => n.to_string(),
+                        Content::I64(n) => n.to_string(),
+                        Content::Bool(b) => b.to_string(),
+                        other => crate::print::print(other, false),
+                    };
+                    m.insert(key, Value::from_content(v));
+                }
+                Value::Object(m)
+            }
+        }
+    }
+
+    /// Convert into a serde `Content` tree.
+    pub fn into_content(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::Number(Number::PosInt(v)) => Content::U64(*v),
+            Value::Number(Number::NegInt(v)) => Content::I64(*v),
+            Value::Number(Number::Float(v)) => Content::F64(*v),
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(items) => Content::Seq(items.iter().map(Value::into_content).collect()),
+            Value::Object(m) => Content::Map(
+                m.iter().map(|(k, v)| (Content::Str(k.clone()), v.into_content())).collect(),
+            ),
+        }
+    }
+
+    /// Object field lookup (None for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Whether this is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Whether this is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// As bool if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// As &str if string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As u64 if a representable number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// As i64 if a representable number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// As f64 if a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// As array slice if an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// As object map if an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::print::print(&self.into_content(), f.alternate()))
+    }
+}
+
+impl serde::Serialize for Value {
+    fn ser(&self) -> Content {
+        self.into_content()
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Value {
+    fn deser(c: &Content) -> Result<Value, serde::DeError> {
+        Ok(Value::from_content(c))
+    }
+}
+
+// --- Literal comparisons used in tests: value == "str" / 500 / true -------
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Value::Number(n) => {
+                        i128::from(*other) >= 0 && n.as_u64() == u64::try_from(i128::from(*other)).ok()
+                            || i128::from(*other) < 0 && n.as_i64().map(i128::from) == Some(i128::from(*other))
+                    }
+                    _ => false,
+                }
+            }
+        }
+    )*};
+}
+eq_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl PartialEq<usize> for Value {
+    fn eq(&self, other: &usize) -> bool {
+        self.as_u64() == Some(*other as u64)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+// --- Conversions ----------------------------------------------------------
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::Number(Number::PosInt(v))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        if v >= 0 {
+            Value::Number(Number::PosInt(v as u64))
+        } else {
+            Value::Number(Number::NegInt(v))
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Value {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
